@@ -1,0 +1,36 @@
+//! Design-choice ablation regenerator + benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tpc_experiments::{ablations, RunParams};
+use tpc_processor::{SimConfig, Simulator};
+use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    let rows = ablations::run(Benchmark::Gcc, RunParams::quick());
+    println!("{}", ablations::render(Benchmark::Gcc, &rows));
+    let rows = ablations::dynamic_split(Benchmark::Gcc, RunParams::quick());
+    println!("{}", ablations::render_dynamic_split(Benchmark::Gcc, &rows));
+
+    let program = WorkloadBuilder::new(Benchmark::Gcc).seed(1).build();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    // The lattice-seeding variant DESIGN.md discusses.
+    group.bench_function("gcc_lattice_seeding", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::with_precon(128, 128);
+            cfg.engine.lattice_seed_loop_exits = true;
+            let mut sim = Simulator::new(&program, cfg);
+            std::hint::black_box(sim.run(30_000).tc_misses_per_kilo())
+        })
+    });
+    group.bench_function("gcc_dynamic_split_adaptive", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&program, SimConfig::unified(256, 1, 4096));
+            std::hint::black_box(sim.run(30_000).tc_misses_per_kilo())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_bench);
+criterion_main!(benches);

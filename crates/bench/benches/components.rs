@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the simulator's hot components.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tpc_core::{preprocess, PushResult, Resolution, TraceBuilder, TraceCache};
+use tpc_exec::Executor;
+use tpc_isa::{Addr, Op, Reg};
+use tpc_predict::{Bimodal, NextTracePredictor, NtpConfig, TraceEnd, TraceKey};
+use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+fn mk_trace(start: u32) -> tpc_core::Trace {
+    let mut b = TraceBuilder::new(Addr::new(start));
+    for i in 0..15 {
+        match b.push(
+            Addr::new(start + i),
+            Op::AddImm { rd: Reg::new(1 + (i % 8) as u8), rs1: Reg::new(1), imm: 1 },
+            Resolution::None,
+        ) {
+            PushResult::Continue(_) => {}
+            PushResult::Complete(t) => return t,
+        }
+    }
+    match b.push(Addr::new(start + 15), Op::Return, Resolution::None) {
+        PushResult::Complete(t) => t,
+        _ => unreachable!(),
+    }
+}
+
+fn components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+
+    group.bench_function("executor_step", |b| {
+        let p = WorkloadBuilder::new(Benchmark::Gcc).seed(1).build();
+        let mut ex = Executor::new(&p);
+        b.iter(|| std::hint::black_box(ex.next()))
+    });
+
+    group.bench_function("trace_cache_lookup_hit", |b| {
+        let mut tc = TraceCache::new(256);
+        let t = mk_trace(0);
+        let key = t.key();
+        tc.fill(t);
+        b.iter(|| std::hint::black_box(tc.lookup(key).is_some()))
+    });
+
+    group.bench_function("trace_cache_fill_evict", |b| {
+        let mut tc = TraceCache::new(64);
+        let traces: Vec<_> = (0..128).map(|i| mk_trace(i * 16)).collect();
+        let mut i = 0;
+        b.iter(|| {
+            tc.fill(traces[i % traces.len()].clone());
+            i += 1;
+        })
+    });
+
+    group.bench_function("ntp_predict_observe", |b| {
+        let mut ntp = NextTracePredictor::new(NtpConfig::default());
+        let keys: Vec<TraceKey> = (0..64)
+            .map(|i| TraceKey { start: Addr::new(i * 16), branch_count: 2, outcomes: (i % 4) as u16 })
+            .collect();
+        let mut i = 0;
+        b.iter(|| {
+            let k = keys[i % keys.len()];
+            let p = ntp.predict();
+            ntp.observe(k, TraceEnd::Fallthrough);
+            i += 1;
+            std::hint::black_box(p)
+        })
+    });
+
+    group.bench_function("bimodal_update", |b| {
+        let mut bim = Bimodal::new(4096);
+        let mut i = 0u32;
+        b.iter(|| {
+            bim.update(Addr::new(i % 512), i.is_multiple_of(3));
+            i += 1;
+        })
+    });
+
+    group.bench_function("preprocess_trace", |b| {
+        let t = mk_trace(0);
+        b.iter(|| std::hint::black_box(preprocess::preprocess(&t)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, components);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 5 regenerator + benchmark.
+//!
+//! Prints the Figure 5 sweep (quick parameters) once, then times the
+//! simulation kernel underlying each point class: a baseline fetch
+//! loop and a preconstruction fetch loop on the largest benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tpc_experiments::{fig5, RunParams};
+use tpc_processor::{SimConfig, Simulator};
+use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    // Regenerate the figure (quick parameters) so `cargo bench`
+    // leaves the artifact in its output.
+    let rows = fig5::run(&Benchmark::ALL, RunParams::quick());
+    println!("{}", fig5::render(&rows));
+
+    let program = WorkloadBuilder::new(Benchmark::Gcc).seed(1).build();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("gcc_baseline_256", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&program, SimConfig::baseline(256));
+            std::hint::black_box(sim.run(30_000).tc_misses_per_kilo())
+        })
+    });
+    group.bench_function("gcc_precon_128_128", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&program, SimConfig::with_precon(128, 128));
+            std::hint::black_box(sim.run(30_000).tc_misses_per_kilo())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_bench);
+criterion_main!(benches);

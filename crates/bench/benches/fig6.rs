@@ -1,0 +1,26 @@
+//! Figure 6 regenerator + benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tpc_experiments::{fig6, RunParams};
+use tpc_processor::{SimConfig, Simulator};
+use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    let rows = fig6::run(&Benchmark::large_working_set(), RunParams::quick());
+    println!("{}", fig6::render(&rows));
+
+    let program = WorkloadBuilder::new(Benchmark::Vortex).seed(1).build();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("vortex_equal_area_pair", |b| {
+        b.iter(|| {
+            let base = Simulator::new(&program, SimConfig::baseline(512)).run(30_000);
+            let pre = Simulator::new(&program, SimConfig::with_precon(256, 256)).run(30_000);
+            std::hint::black_box(pre.speedup_over(&base))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_bench);
+criterion_main!(benches);

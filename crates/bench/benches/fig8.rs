@@ -1,0 +1,28 @@
+//! Figure 8 regenerator + benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tpc_experiments::{fig8, RunParams};
+use tpc_processor::{SimConfig, Simulator};
+use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    let rows = fig8::run(&Benchmark::large_working_set(), RunParams::quick());
+    println!("{}", fig8::render(&rows));
+
+    let program = WorkloadBuilder::new(Benchmark::Perl).seed(1).build();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("perl_combined_pipeline", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                &program,
+                SimConfig::with_precon(128, 128).with_preprocess(),
+            );
+            std::hint::black_box(sim.run(30_000).ipc())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Tables 1-3 regenerator + benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tpc_experiments::{tables, RunParams};
+use tpc_processor::{SimConfig, Simulator};
+use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    let rows = tables::run(&[Benchmark::Gcc, Benchmark::Go], RunParams::quick());
+    println!("{}", tables::render(&rows));
+
+    let program = WorkloadBuilder::new(Benchmark::Go).seed(1).build();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("go_512_baseline", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&program, SimConfig::baseline(512));
+            std::hint::black_box(sim.run(30_000).icache_supplied_per_kilo())
+        })
+    });
+    group.bench_function("go_256_precon_256", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&program, SimConfig::with_precon(256, 256));
+            std::hint::black_box(sim.run(30_000).icache_misses_per_kilo())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_bench);
+criterion_main!(benches);

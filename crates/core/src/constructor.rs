@@ -1,0 +1,427 @@
+//! A preconstruction trace constructor (paper Section 3.4).
+//!
+//! Each constructor walks static code from a trace start point,
+//! decoding instructions out of its region's prefetch cache. At a
+//! conditional branch it consults the slow-path bimodal predictor:
+//! strongly-biased branches are followed only down their dominant
+//! direction; weakly-biased branches follow the not-taken path first
+//! while the decision point is pushed onto a small internal stack,
+//! from which the alternative (taken) path is constructed after the
+//! current trace completes. Paths terminate at indirect jumps (and
+//! at returns whose call was not observed during this walk, where the
+//! target is equally unknown).
+
+use crate::trace::{PushResult, Resolution, Trace, TraceBuilder};
+use tpc_isa::{Addr, OpClass, Program};
+use tpc_mem::PrefetchCache;
+use tpc_predict::{Bias, Bimodal};
+
+/// One saved decision point for a weakly-biased branch: the builder
+/// and call-stack state just *before* the branch was consumed, plus
+/// the branch's address. Popping it re-runs the branch down the
+/// taken path.
+#[derive(Debug, Clone)]
+struct Decision {
+    builder: TraceBuilder,
+    call_stack: Vec<Addr>,
+    branch_pc: Addr,
+}
+
+/// What a single constructor step produced.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// Consumed one instruction; more work remains this trace.
+    Advanced,
+    /// The instruction at the returned address is not in the prefetch
+    /// cache; the engine must fetch its line before this constructor
+    /// can proceed.
+    NeedLine(Addr),
+    /// A trace completed. The constructor may still have alternative
+    /// paths queued on its internal stack — call
+    /// [`TraceConstructor::backtrack`] before assigning new work.
+    TraceDone(Box<Trace>),
+    /// The current path ended without completing further traces and
+    /// no alternatives remain: the constructor is idle.
+    Idle,
+}
+
+/// A single trace constructor.
+#[derive(Debug, Clone)]
+pub struct TraceConstructor {
+    builder: Option<TraceBuilder>,
+    pc: Addr,
+    call_stack: Vec<Addr>,
+    decisions: Vec<Decision>,
+    decision_depth: usize,
+}
+
+impl TraceConstructor {
+    /// Creates an idle constructor whose internal decision stack
+    /// holds up to `decision_depth` pending alternative paths.
+    pub fn new(decision_depth: usize) -> Self {
+        TraceConstructor {
+            builder: None,
+            pc: Addr::ZERO,
+            call_stack: Vec::new(),
+            decisions: Vec::new(),
+            decision_depth,
+        }
+    }
+
+    /// Whether the constructor has no work at all.
+    pub fn is_idle(&self) -> bool {
+        self.builder.is_none() && self.decisions.is_empty()
+    }
+
+    /// Whether a trace is currently under construction.
+    pub fn is_building(&self) -> bool {
+        self.builder.is_some()
+    }
+
+    /// Begins constructing traces from a fresh trace start point.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the constructor still has work
+    /// (check [`TraceConstructor::is_idle`] first).
+    pub fn start(&mut self, start: Addr) {
+        debug_assert!(self.is_idle(), "constructor reassigned while busy");
+        self.builder = Some(TraceBuilder::new(start));
+        self.pc = start;
+        self.call_stack.clear();
+        self.decisions.clear();
+    }
+
+    /// Abandons all work (region terminated).
+    pub fn abort(&mut self) {
+        self.builder = None;
+        self.call_stack.clear();
+        self.decisions.clear();
+    }
+
+    /// After [`Step::TraceDone`], resumes the most recent pending
+    /// alternative path, if any. Returns `true` when an alternative
+    /// was resumed, `false` when the constructor is now idle.
+    pub fn backtrack(&mut self, program: &Program) -> bool {
+        let Some(d) = self.decisions.pop() else {
+            return false;
+        };
+        let mut builder = d.builder;
+        self.call_stack = d.call_stack;
+        // Re-consume the branch, this time down the taken path.
+        let op = *program
+            .fetch(d.branch_pc)
+            .expect("decision point addresses a validated branch");
+        let target = op
+            .static_target()
+            .expect("conditional branches have static targets");
+        match builder.push(
+            d.branch_pc,
+            op,
+            Resolution::Branch { taken: true, next_pc: target },
+        ) {
+            PushResult::Continue(next) => {
+                self.pc = next;
+                self.builder = Some(builder);
+            }
+            PushResult::Complete(_) => {
+                // The branch completed the alternative trace
+                // immediately (alignment/full). Constructing a
+                // one-divergence duplicate is not useful; fall
+                // through to the next alternative.
+                return self.backtrack(program);
+            }
+        }
+        true
+    }
+
+    /// Advances construction by one instruction.
+    ///
+    /// `prefetch` is the region's prefetch cache (instructions must
+    /// be resident to be decoded); `bimodal` is the shared slow-path
+    /// predictor consulted for branch bias.
+    pub fn step(
+        &mut self,
+        program: &Program,
+        prefetch: &PrefetchCache,
+        bimodal: &Bimodal,
+    ) -> Step {
+        let Some(builder) = self.builder.as_mut() else {
+            return Step::Idle;
+        };
+        let pc = self.pc;
+        if !prefetch.contains(pc) {
+            return Step::NeedLine(pc);
+        }
+        let Some(op) = program.fetch(pc).copied() else {
+            // Ran past the end of the code: only possible in
+            // hand-written programs; end the path.
+            self.builder = None;
+            return Step::Idle;
+        };
+
+        let resolution = match op.class() {
+            OpClass::Branch => {
+                let target = op.static_target().expect("branch has a static target");
+                match bimodal.bias(pc) {
+                    Bias::StronglyTaken => Resolution::Branch { taken: true, next_pc: target },
+                    Bias::StronglyNotTaken => {
+                        Resolution::Branch { taken: false, next_pc: pc.next() }
+                    }
+                    Bias::Weak => {
+                        // Fork: not-taken first, taken path saved for
+                        // backtracking (bounded stack; overflow means
+                        // we simply do not explore that alternative).
+                        if self.decisions.len() < self.decision_depth {
+                            self.decisions.push(Decision {
+                                builder: builder.clone(),
+                                call_stack: self.call_stack.clone(),
+                                branch_pc: pc,
+                            });
+                        }
+                        Resolution::Branch { taken: false, next_pc: pc.next() }
+                    }
+                }
+            }
+            OpClass::Call => {
+                self.call_stack.push(pc.next());
+                Resolution::None
+            }
+            OpClass::Return => match self.call_stack.pop() {
+                Some(ra) => Resolution::Target(ra),
+                None => Resolution::None,
+            },
+            // Indirect-jump targets are unknown to preconstruction:
+            // the path terminates here (paper Section 2.1).
+            OpClass::IndirectJump => Resolution::None,
+            OpClass::Halt => Resolution::None,
+            _ => Resolution::None,
+        };
+
+        match builder.push(pc, op, resolution) {
+            PushResult::Continue(next) => {
+                self.pc = next;
+                Step::Advanced
+            }
+            PushResult::Complete(trace) => {
+                self.builder = None;
+                Step::TraceDone(Box::new(trace))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_isa::model::OutcomeModel;
+    use tpc_isa::{BranchCond, Op, ProgramBuilder, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn full_prefetch(program: &Program) -> PrefetchCache {
+        let mut p = PrefetchCache::new(((program.len() as u32 / 16) + 1) * 16 * 16);
+        for w in (0..program.len() as u32).step_by(16) {
+            assert!(p.insert_line(Addr::new(w)));
+        }
+        p
+    }
+
+    /// Drives the constructor until it is idle, collecting traces.
+    fn run_all(
+        ctor: &mut TraceConstructor,
+        program: &Program,
+        prefetch: &PrefetchCache,
+        bimodal: &Bimodal,
+    ) -> Vec<Trace> {
+        let mut traces = Vec::new();
+        for _ in 0..10_000 {
+            match ctor.step(program, prefetch, bimodal) {
+                Step::Advanced => {}
+                Step::TraceDone(t) => {
+                    traces.push(*t);
+                    if !ctor.backtrack(program) {
+                        break;
+                    }
+                }
+                Step::Idle => break,
+                Step::NeedLine(a) => panic!("unexpected stall at {a}"),
+            }
+        }
+        traces
+    }
+
+    /// Straight-line code ending in ret.
+    #[test]
+    fn straight_line_single_trace() {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..5 {
+            b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: 1 });
+        }
+        b.push(Op::Return);
+        let p = b.build().unwrap();
+        let prefetch = full_prefetch(&p);
+        let bimodal = Bimodal::new(64);
+        let mut ctor = TraceConstructor::new(3);
+        ctor.start(Addr::ZERO);
+        let traces = run_all(&mut ctor, &p, &prefetch, &bimodal);
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].len(), 6);
+        assert_eq!(traces[0].successor(), None, "return with unobserved call");
+    }
+
+    #[test]
+    fn weak_branch_forks_both_paths() {
+        // if-then-else: weak branch at 0; not-taken path 1..3 jmp 5;
+        // taken path 3..4; join at 5: ret.
+        let mut b = ProgramBuilder::new();
+        b.push_branch(
+            Op::Branch { cond: BranchCond::Ne, rs1: r(1), rs2: r(2), target: Addr::new(3) },
+            OutcomeModel::Biased { num: 1, denom: 2, seed: 3 },
+        );
+        b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: 1 }); // 1
+        b.push(Op::Jump { target: Addr::new(5) });          // 2
+        b.push(Op::AddImm { rd: r(2), rs1: r(2), imm: 1 }); // 3
+        b.push(Op::Nop);                                    // 4
+        b.push(Op::Return);                                 // 5
+        let p = b.build().unwrap();
+        let prefetch = full_prefetch(&p);
+        let bimodal = Bimodal::new(64); // weak state everywhere
+        let mut ctor = TraceConstructor::new(3);
+        ctor.start(Addr::ZERO);
+        let traces = run_all(&mut ctor, &p, &prefetch, &bimodal);
+        assert_eq!(traces.len(), 2, "both arms constructed");
+        let keys: std::collections::HashSet<_> = traces.iter().map(|t| t.key()).collect();
+        assert_eq!(keys.len(), 2);
+        // Not-taken explored first.
+        assert_eq!(traces[0].branch_outcome(0), Some(false));
+        assert_eq!(traces[1].branch_outcome(0), Some(true));
+    }
+
+    #[test]
+    fn strong_bias_follows_single_path() {
+        let mut b = ProgramBuilder::new();
+        b.push_branch(
+            Op::Branch { cond: BranchCond::Ne, rs1: r(1), rs2: r(2), target: Addr::new(3) },
+            OutcomeModel::AlwaysTaken,
+        );
+        b.push(Op::Nop); // 1 (not-taken arm, never constructed)
+        b.push(Op::Return); // 2
+        b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: 1 }); // 3
+        b.push(Op::Return); // 4
+        let p = b.build().unwrap();
+        let prefetch = full_prefetch(&p);
+        let mut bimodal = Bimodal::new(64);
+        // Saturate the branch taken.
+        for _ in 0..3 {
+            bimodal.update(Addr::ZERO, true);
+        }
+        let mut ctor = TraceConstructor::new(3);
+        ctor.start(Addr::ZERO);
+        let traces = run_all(&mut ctor, &p, &prefetch, &bimodal);
+        assert_eq!(traces.len(), 1, "only the biased path is followed");
+        assert_eq!(traces[0].branch_outcome(0), Some(true));
+    }
+
+    #[test]
+    fn call_observed_resolves_matching_return() {
+        // call f; nop; ret-at-top-level — callee: addi; ret
+        let mut b = ProgramBuilder::new();
+        let call_at = b.push(Op::Nop); // patched
+        b.push(Op::Nop); // 1
+        b.push(Op::Return); // 2
+        let f = b.here(); // 3
+        b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: 1 }); // 3
+        b.push(Op::Return); // 4
+        b.patch(call_at, Op::Call { target: f });
+        let p = b.build().unwrap();
+        let prefetch = full_prefetch(&p);
+        let bimodal = Bimodal::new(64);
+        let mut ctor = TraceConstructor::new(3);
+        ctor.start(Addr::ZERO);
+        let traces = run_all(&mut ctor, &p, &prefetch, &bimodal);
+        // First trace: call, addi, ret — successor = return point (1).
+        assert_eq!(traces[0].successor(), Some(Addr::new(1)));
+    }
+
+    #[test]
+    fn indirect_jump_terminates_path() {
+        let mut b = ProgramBuilder::new();
+        b.push(Op::Nop);
+        b.push_indirect(
+            Op::IndirectJump { rs1: r(4) },
+            tpc_isa::model::IndirectModel::uniform(vec![Addr::ZERO], 1),
+        );
+        b.push(Op::Halt);
+        let p = b.build().unwrap();
+        let prefetch = full_prefetch(&p);
+        let bimodal = Bimodal::new(64);
+        let mut ctor = TraceConstructor::new(3);
+        ctor.start(Addr::ZERO);
+        let traces = run_all(&mut ctor, &p, &prefetch, &bimodal);
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].successor(), None);
+        assert!(ctor.is_idle());
+    }
+
+    #[test]
+    fn missing_line_stalls() {
+        let mut b = ProgramBuilder::new();
+        b.push(Op::Nop);
+        b.push(Op::Return);
+        let p = b.build().unwrap();
+        let prefetch = PrefetchCache::new(16); // empty
+        let bimodal = Bimodal::new(64);
+        let mut ctor = TraceConstructor::new(3);
+        ctor.start(Addr::ZERO);
+        match ctor.step(&p, &prefetch, &bimodal) {
+            Step::NeedLine(a) => assert_eq!(a, Addr::ZERO),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decision_stack_is_bounded() {
+        // Three consecutive weak branches with depth 1: only one fork
+        // is remembered → 2 traces total.
+        let mut b = ProgramBuilder::new();
+        for i in 0..3u32 {
+            b.push_branch(
+                Op::Branch {
+                    cond: BranchCond::Ne,
+                    rs1: r(1),
+                    rs2: r(2),
+                    target: Addr::new(4), // forward, into the ret below
+                },
+                OutcomeModel::Biased { num: 1, denom: 2, seed: i as u64 },
+            );
+        }
+        b.push(Op::Nop); // 3
+        b.push(Op::Return); // 4
+        let p = b.build().unwrap();
+        let prefetch = full_prefetch(&p);
+        let bimodal = Bimodal::new(64);
+        let mut ctor = TraceConstructor::new(1);
+        ctor.start(Addr::ZERO);
+        let traces = run_all(&mut ctor, &p, &prefetch, &bimodal);
+        assert_eq!(traces.len(), 2);
+    }
+
+    #[test]
+    fn abort_clears_all_state() {
+        let mut b = ProgramBuilder::new();
+        b.push(Op::Nop);
+        b.push(Op::Return);
+        let p = b.build().unwrap();
+        let prefetch = full_prefetch(&p);
+        let bimodal = Bimodal::new(64);
+        let mut ctor = TraceConstructor::new(3);
+        ctor.start(Addr::ZERO);
+        assert!(!ctor.is_idle());
+        ctor.abort();
+        assert!(ctor.is_idle());
+        assert!(matches!(ctor.step(&p, &prefetch, &bimodal), Step::Idle));
+    }
+}

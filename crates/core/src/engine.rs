@@ -1,0 +1,687 @@
+//! The preconstruction engine (paper Sections 2–3).
+//!
+//! The engine watches the processor's dispatch stream for region
+//! start points (call return points and loop exits), keeps them on a
+//! [`StartPointStack`], and — using the I-cache only on cycles when
+//! the slow path leaves it idle — walks the static code of up to four
+//! regions at a time through four parallel [`TraceConstructor`]s fed
+//! by four [`PrefetchCache`]s, filing completed traces into the
+//! [`crate::PreconBuffers`] that the processor probes alongside its trace
+//! cache.
+//!
+//! A region terminates when: its work runs out (completed), the
+//! processor catches up to its start point (aborted), its prefetch
+//! cache fills (fetch bound), or a buffer fill is rejected by the
+//! region-priority policy (buffer bound — the paper's primary
+//! per-region resource bound).
+
+use crate::constructor::{Step, TraceConstructor};
+use crate::start_stack::{StartPointStack, StartReason};
+use crate::storage::TraceStore;
+use crate::trace::Trace;
+use std::collections::{HashSet, VecDeque};
+use tpc_isa::{Addr, Op, OpClass, Program};
+use tpc_mem::{AccessKind, InstrCache, PrefetchCache};
+use tpc_predict::{Bimodal, TraceKey};
+
+/// Configuration of the preconstruction engine. Defaults are the
+/// paper's (Section 4.1) with a 256-entry buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Master switch; a disabled engine does nothing and holds no
+    /// buffers.
+    pub enabled: bool,
+    /// Preconstruction buffer entries (2-way set-associative). The
+    /// engine does not allocate these itself — the processor sizes
+    /// its [`crate::storage::SplitStore`] from this field.
+    pub buffer_entries: u32,
+    /// Number of prefetch caches = maximum concurrently-active
+    /// regions.
+    pub prefetch_caches: usize,
+    /// Parallel trace constructors.
+    pub constructors: usize,
+    /// Capacity of each prefetch cache, in instructions.
+    pub prefetch_capacity: u32,
+    /// Region start-point stack depth.
+    pub stack_depth: usize,
+    /// Reserved completed-region entries on the stack.
+    pub completed_entries: usize,
+    /// Per-constructor internal decision-stack depth.
+    pub decision_depth: usize,
+    /// Instructions a constructor can decode per cycle.
+    pub decode_width: u32,
+    /// Trace start points a region worklist can hold.
+    pub worklist_cap: usize,
+    /// Run the preprocessing pipeline over preconstructed traces
+    /// (extended pipeline model, Section 6).
+    pub preprocess: bool,
+    /// Seed loop-exit regions at all four phases of the mod-4
+    /// alignment lattice instead of only the branch fall-through.
+    /// Costs extra fetch/buffer resources; measured as an ablation.
+    pub lattice_seed_loop_exits: bool,
+    /// Remember the identity of every trace ever constructed
+    /// (diagnostic; lets the simulator classify trace-cache misses
+    /// into never-built vs. built-but-lost).
+    pub track_built_keys: bool,
+    /// I-cache lines the engine may fetch per idle cycle (the paper
+    /// uses the single idle slow-path port: 1).
+    pub fetch_width: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            enabled: true,
+            buffer_entries: 256,
+            prefetch_caches: 4,
+            constructors: 4,
+            prefetch_capacity: 256,
+            stack_depth: 16,
+            completed_entries: 4,
+            decision_depth: 3,
+            decode_width: 4,
+            worklist_cap: 8,
+            preprocess: false,
+            lattice_seed_loop_exits: false,
+            track_built_keys: false,
+            fetch_width: 1,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A disabled engine (the no-preconstruction baseline).
+    pub fn disabled() -> Self {
+        EngineConfig {
+            enabled: false,
+            buffer_entries: 0,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// Counters kept by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Regions popped from the start-point stack and explored.
+    pub regions_started: u64,
+    /// Regions whose work completed normally.
+    pub regions_completed: u64,
+    /// Regions aborted because the processor reached them.
+    pub regions_caught_up: u64,
+    /// Regions terminated by a full prefetch cache.
+    pub regions_fetch_bound: u64,
+    /// Regions terminated by a rejected buffer fill.
+    pub regions_buffer_bound: u64,
+    /// Traces constructed (including duplicates of cached traces).
+    pub traces_built: u64,
+    /// Constructed traces discarded because the trace cache already
+    /// held them.
+    pub traces_already_cached: u64,
+    /// Successor start points dropped by the worklist bound.
+    pub successors_dropped: u64,
+    /// I-cache lines fetched on behalf of preconstruction.
+    pub lines_fetched: u64,
+    /// Start points observed at dispatch (pre-deduplication).
+    pub start_points_observed: u64,
+}
+
+#[derive(Debug)]
+struct Region {
+    id: u64,
+    start: Addr,
+    prefetch: PrefetchCache,
+    worklist: VecDeque<Addr>,
+    seen: HashSet<Addr>,
+    /// Line address a constructor is stalled on.
+    want_line: Option<Addr>,
+    /// In-flight line fetch: (address, cycle it arrives).
+    pending: Option<(Addr, u64)>,
+}
+
+/// The preconstruction engine. See the module docs for the overall
+/// flow; drive it with one [`PreconEngine::tick`] per processor
+/// cycle plus the dispatch/retire/squash observation hooks.
+#[derive(Debug)]
+pub struct PreconEngine {
+    config: EngineConfig,
+    stack: StartPointStack,
+    regions: Vec<Option<Region>>,
+    constructors: Vec<TraceConstructor>,
+    /// Region slot each constructor works for.
+    assignment: Vec<Option<usize>>,
+    next_region_id: u64,
+    stats: EngineStats,
+    built_keys: HashSet<u64>,
+}
+
+impl PreconEngine {
+    /// Creates an engine. The engine does not own the trace storage:
+    /// the preconstruction buffers (or the unified store's
+    /// preconstruction ways) are passed into [`PreconEngine::tick`]
+    /// by the processor, which probes them in parallel with its trace
+    /// cache.
+    pub fn new(config: EngineConfig) -> Self {
+        PreconEngine {
+            stack: StartPointStack::new(config.stack_depth.max(1), config.completed_entries),
+            regions: (0..config.prefetch_caches).map(|_| None).collect(),
+            constructors: (0..config.constructors)
+                .map(|_| TraceConstructor::new(config.decision_depth))
+                .collect(),
+            assignment: vec![None; config.constructors],
+            next_region_id: 1,
+            stats: EngineStats::default(),
+            built_keys: HashSet::new(),
+            config,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Whether a trace with this identity was ever constructed
+    /// (only meaningful with `track_built_keys` enabled).
+    pub fn was_ever_built(&self, key: TraceKey) -> bool {
+        self.built_keys.contains(&key.hash64())
+    }
+
+    /// Observes one dispatched instruction (speculative stream).
+    ///
+    /// Pushes region start points for calls and backward branches and
+    /// aborts regions the processor has caught up with.
+    pub fn observe_dispatch(&mut self, pc: Addr, op: &Op, seq: u64) {
+        if !self.config.enabled {
+            return;
+        }
+        match op.class() {
+            OpClass::Call => {
+                self.stats.start_points_observed += 1;
+                self.stack.push(pc.next(), StartReason::CallReturn, seq);
+            }
+            OpClass::Branch if op.is_backward_branch(pc) => {
+                self.stats.start_points_observed += 1;
+                self.stack.push(pc.next(), StartReason::LoopExit, seq);
+            }
+            _ => {}
+        }
+        // Catch-up: the processor reached a region being explored.
+        for i in 0..self.regions.len() {
+            if self.regions[i].as_ref().is_some_and(|r| r.start == pc) {
+                self.retire_region(i, RegionEnd::CaughtUp);
+            }
+        }
+    }
+
+    /// Observes one retired instruction (architectural stream):
+    /// start points whose region execution reached are removed.
+    pub fn observe_retire(&mut self, pc: Addr) {
+        if self.config.enabled {
+            self.stack.on_retire(pc);
+        }
+    }
+
+    /// Removes start points planted by squashed (wrong-path)
+    /// dispatches.
+    pub fn squash_younger_than(&mut self, seq: u64) {
+        if self.config.enabled {
+            self.stack.squash_younger_than(seq);
+        }
+    }
+
+    /// Advances the engine by one cycle.
+    ///
+    /// `slow_path_idle` must be true only on cycles where the
+    /// processor's slow path is not using the I-cache — the engine
+    /// fetches at most one line per such cycle (paper Section 2:
+    /// preconstruction borrows idle slow-path hardware).
+    pub fn tick(
+        &mut self,
+        cycle: u64,
+        slow_path_idle: bool,
+        program: &Program,
+        icache: &mut InstrCache,
+        bimodal: &Bimodal,
+        store: &mut dyn TraceStore,
+    ) {
+        if !self.config.enabled {
+            return;
+        }
+        self.activate_regions();
+        self.land_pending_fetches(cycle);
+        if slow_path_idle {
+            for _ in 0..self.config.fetch_width {
+                self.issue_line_fetch(cycle, icache);
+            }
+        }
+        self.run_constructors(program, bimodal, store);
+        self.complete_quiet_regions();
+    }
+
+    /// Pops start points into free region slots.
+    fn activate_regions(&mut self) {
+        for slot in self.regions.iter_mut() {
+            if slot.is_some() {
+                continue;
+            }
+            let Some(sp) = self.stack.pop() else { break };
+            // Loop-exit regions are seeded at all four phases of the
+            // mod-4 alignment lattice: the processor's trace that
+            // straddles the loop exit ends a multiple of four
+            // instructions past the backward branch, so its next
+            // trace starts at `addr + 4k` for some k — seeding every
+            // phase guarantees one seed lands on the lattice the
+            // processor will actually use (paper Section 2.2).
+            let seeds: Vec<Addr> = match sp.reason {
+                crate::start_stack::StartReason::LoopExit if self.config.lattice_seed_loop_exits => {
+                    (0..crate::trace::ALIGN_QUANTUM as u32)
+                        .map(|k| sp.addr + k * crate::trace::ALIGN_QUANTUM as u32)
+                        .collect()
+                }
+                _ => vec![sp.addr],
+            };
+            let seen: HashSet<Addr> = seeds.iter().copied().collect();
+            *slot = Some(Region {
+                id: self.next_region_id,
+                start: sp.addr,
+                prefetch: PrefetchCache::new(self.config.prefetch_capacity),
+                worklist: VecDeque::from(seeds),
+                seen,
+                want_line: None,
+                pending: None,
+            });
+            self.next_region_id += 1;
+            self.stats.regions_started += 1;
+        }
+    }
+
+    /// Moves arrived line fetches into their prefetch caches.
+    fn land_pending_fetches(&mut self, cycle: u64) {
+        for i in 0..self.regions.len() {
+            let Some(region) = self.regions[i].as_mut() else { continue };
+            if let Some((addr, ready)) = region.pending {
+                if cycle >= ready {
+                    region.pending = None;
+                    if !region.prefetch.insert_line(addr) {
+                        self.retire_region(i, RegionEnd::FetchBound);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Issues at most one I-cache line fetch for the newest region
+    /// that is stalled waiting for a line.
+    fn issue_line_fetch(&mut self, cycle: u64, icache: &mut InstrCache) {
+        let candidate = self
+            .regions
+            .iter_mut()
+            .flatten()
+            .filter(|r| r.pending.is_none() && r.want_line.is_some())
+            .max_by_key(|r| r.id);
+        if let Some(region) = candidate {
+            let addr = region.want_line.take().expect("filtered on is_some");
+            let line_base = InstrCache::line_base(addr);
+            let res = icache.fetch(line_base, AccessKind::Precon);
+            region.pending = Some((line_base, cycle + res.latency as u64));
+            self.stats.lines_fetched += 1;
+        }
+    }
+
+    /// Steps every constructor up to `decode_width` instructions.
+    fn run_constructors(
+        &mut self,
+        program: &Program,
+        bimodal: &Bimodal,
+        store: &mut dyn TraceStore,
+    ) {
+        for c in 0..self.constructors.len() {
+            let mut budget = self.config.decode_width;
+            while budget > 0 {
+                // (Re)assign idle constructors to the newest region
+                // with pending work.
+                if self.constructors[c].is_idle()
+                    && !self.assign_work(c) {
+                        break;
+                    }
+                let Some(slot) = self.assignment[c] else { break };
+                let Some(region) = self.regions[slot].as_ref() else {
+                    self.assignment[c] = None;
+                    continue;
+                };
+                match self.constructors[c].step(program, &region.prefetch, bimodal) {
+                    Step::Advanced => budget -= 1,
+                    Step::NeedLine(addr) => {
+                        let region = self.regions[slot]
+                            .as_mut()
+                            .expect("checked above");
+                        if region.prefetch.is_full() {
+                            self.retire_region(slot, RegionEnd::FetchBound);
+                        } else {
+                            region.want_line = Some(addr);
+                        }
+                        break;
+                    }
+                    Step::TraceDone(trace) => {
+                        budget = budget.saturating_sub(1);
+                        self.file_trace(c, slot, *trace, program, store);
+                    }
+                    Step::Idle => {
+                        self.assignment[c] = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles a completed trace: queue its successor, store it in
+    /// the buffers (unless already cached), resume alternatives.
+    fn file_trace(
+        &mut self,
+        ctor: usize,
+        slot: usize,
+        trace: Trace,
+        program: &Program,
+        store: &mut dyn TraceStore,
+    ) {
+        self.stats.traces_built += 1;
+        if self.config.track_built_keys {
+            self.built_keys.insert(trace.key().hash64());
+        }
+        let region_id;
+        {
+            let Some(region) = self.regions[slot].as_mut() else { return };
+            region_id = region.id;
+            if let Some(succ) = trace.successor() {
+                if !region.seen.contains(&succ) {
+                    if region.worklist.len() < self.config.worklist_cap {
+                        region.seen.insert(succ);
+                        region.worklist.push_back(succ);
+                    } else {
+                        self.stats.successors_dropped += 1;
+                    }
+                }
+            }
+        }
+        if store.contains_cached(trace.key()) {
+            self.stats.traces_already_cached += 1;
+        } else {
+            let mut trace = trace;
+            if self.config.preprocess {
+                let info = crate::preprocess::preprocess(&trace);
+                trace.set_preprocess(info);
+            }
+            if !store.fill_precon(trace, region_id) {
+                // Buffer bound: the primary per-region resource limit.
+                self.retire_region(slot, RegionEnd::BufferBound);
+                return;
+            }
+        }
+        if !self.constructors[ctor].backtrack(program) {
+            self.assignment[ctor] = None;
+        }
+    }
+
+    /// Finds work for an idle constructor: the newest region with a
+    /// non-empty worklist. Returns false when no work exists.
+    fn assign_work(&mut self, ctor: usize) -> bool {
+        let slot = self
+            .regions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (i, r)))
+            .filter(|(_, r)| !r.worklist.is_empty())
+            .max_by_key(|(_, r)| r.id)
+            .map(|(i, _)| i);
+        let Some(slot) = slot else {
+            self.assignment[ctor] = None;
+            return false;
+        };
+        let region = self.regions[slot].as_mut().expect("selected above");
+        let start = region.worklist.pop_front().expect("non-empty");
+        self.constructors[ctor].start(start);
+        self.assignment[ctor] = Some(slot);
+        true
+    }
+
+    /// Frees regions with no remaining work.
+    fn complete_quiet_regions(&mut self) {
+        for i in 0..self.regions.len() {
+            let quiet = {
+                let Some(region) = self.regions[i].as_ref() else { continue };
+                region.worklist.is_empty()
+                    && region.pending.is_none()
+                    && region.want_line.is_none()
+                    && !self
+                        .assignment
+                        .iter()
+                        .zip(&self.constructors)
+                        .any(|(a, c)| *a == Some(i) && !c.is_idle())
+            };
+            if quiet {
+                self.retire_region(i, RegionEnd::Completed);
+            }
+        }
+    }
+
+    fn retire_region(&mut self, slot: usize, end: RegionEnd) {
+        let Some(region) = self.regions[slot].take() else { return };
+        match end {
+            RegionEnd::Completed => self.stats.regions_completed += 1,
+            RegionEnd::CaughtUp => self.stats.regions_caught_up += 1,
+            RegionEnd::FetchBound => self.stats.regions_fetch_bound += 1,
+            RegionEnd::BufferBound => self.stats.regions_buffer_bound += 1,
+        }
+        self.stack.mark_completed(region.start);
+        for (c, a) in self.assignment.iter_mut().enumerate() {
+            if *a == Some(slot) {
+                self.constructors[c].abort();
+                *a = None;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionEnd {
+    Completed,
+    CaughtUp,
+    FetchBound,
+    BufferBound,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_isa::model::OutcomeModel;
+    use tpc_isa::{BranchCond, ProgramBuilder, Reg};
+    use tpc_mem::InstrCacheConfig;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// A call site whose callee returns, with post-return code ending
+    /// in halt — the canonical Region-1 shape from the paper's
+    /// example.
+    fn call_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let call_at = b.push(Op::Nop); // patched to call f
+        // Return point: post-call region (the region start point).
+        for _ in 0..6 {
+            b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: 1 });
+        }
+        b.push(Op::Halt);
+        let f = b.here();
+        b.push(Op::AddImm { rd: r(2), rs1: r(2), imm: 1 });
+        b.push(Op::Return);
+        b.patch(call_at, Op::Call { target: f });
+        b.build().unwrap()
+    }
+
+    use crate::storage::SplitStore;
+
+    fn harness() -> (InstrCache, Bimodal, SplitStore) {
+        (
+            InstrCache::new(InstrCacheConfig::default()),
+            Bimodal::new(1024),
+            SplitStore::new(64, 256),
+        )
+    }
+
+    fn drive(engine: &mut PreconEngine, program: &Program, cycles: u64) -> SplitStore {
+        let (mut ic, bim, mut store) = harness();
+        for cycle in 0..cycles {
+            engine.tick(cycle, true, program, &mut ic, &bim, &mut store);
+        }
+        store
+    }
+
+    #[test]
+    fn call_dispatch_spawns_region_and_builds_traces() {
+        let p = call_program();
+        let mut e = PreconEngine::new(EngineConfig::default());
+        // The processor dispatches the call at address 0.
+        e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 1);
+        let store = drive(&mut e, &p, 100);
+        assert_eq!(e.stats().regions_started, 1);
+        assert!(e.stats().traces_built >= 1);
+        assert!(store.buffers().occupancy() >= 1);
+    }
+
+    #[test]
+    fn preconstructed_trace_is_fetchable_by_key() {
+        let p = call_program();
+        let mut e = PreconEngine::new(EngineConfig::default());
+        e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 1);
+        let mut store = drive(&mut e, &p, 200);
+        // The region starts at the return point (address 1) and the
+        // first trace runs to the halt: find it by reconstructing the
+        // expected key (straight-line: no branches).
+        let key = TraceKey { start: Addr::new(1), branch_count: 0, outcomes: 0 };
+        let fetched = store.fetch(key);
+        assert!(fetched.hit, "trace from the post-call region present");
+        assert!(fetched.from_precon);
+    }
+
+    #[test]
+    fn backward_branch_spawns_loop_exit_region() {
+        let mut b = ProgramBuilder::new();
+        let top = b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: 1 });
+        b.push_branch(
+            Op::Branch { cond: BranchCond::Ne, rs1: r(1), rs2: r(2), target: top },
+            OutcomeModel::Loop { trip: 10 },
+        );
+        for _ in 0..4 {
+            b.push(Op::AddImm { rd: r(3), rs1: r(3), imm: 1 });
+        }
+        b.push(Op::Halt);
+        let p = b.build().unwrap();
+        let mut e = PreconEngine::new(EngineConfig::default());
+        let br_pc = Addr::new(1);
+        e.observe_dispatch(br_pc, p.fetch(br_pc).unwrap(), 1);
+        let mut store = drive(&mut e, &p, 100);
+        assert_eq!(e.stats().regions_started, 1);
+        // The loop-exit region starts at the branch fall-through.
+        let key = TraceKey { start: Addr::new(2), branch_count: 0, outcomes: 0 };
+        assert!(store.fetch(key).hit);
+    }
+
+    #[test]
+    fn catch_up_aborts_region() {
+        let p = call_program();
+        let mut e = PreconEngine::new(EngineConfig::default());
+        e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 1);
+        // Activate the region but give it no cycles to finish.
+        let (mut ic, bim, mut store) = harness();
+        e.tick(0, false, &p, &mut ic, &bim, &mut store);
+        assert_eq!(e.stats().regions_started, 1);
+        // The processor dispatches the region's start instruction.
+        e.observe_dispatch(Addr::new(1), p.fetch(Addr::new(1)).unwrap(), 2);
+        assert_eq!(e.stats().regions_caught_up, 1);
+    }
+
+    #[test]
+    fn completed_region_not_restarted() {
+        let p = call_program();
+        let mut e = PreconEngine::new(EngineConfig::default());
+        e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 1);
+        drive(&mut e, &p, 300);
+        let started = e.stats().regions_started;
+        assert!(e.stats().regions_completed >= 1);
+        // The same call dispatches again: completed-region memory
+        // suppresses the re-push.
+        e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 2);
+        drive(&mut e, &p, 100);
+        assert_eq!(e.stats().regions_started, started);
+    }
+
+    #[test]
+    fn disabled_engine_is_inert() {
+        let p = call_program();
+        let mut e = PreconEngine::new(EngineConfig::disabled());
+        e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 1);
+        drive(&mut e, &p, 100);
+        assert_eq!(e.stats().regions_started, 0);
+        assert_eq!(e.stats().traces_built, 0);
+    }
+
+    #[test]
+    fn fetches_gated_by_slow_path_idle() {
+        let p = call_program();
+        let mut e = PreconEngine::new(EngineConfig::default());
+        e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 1);
+        let (mut ic, bim, mut store) = harness();
+        for cycle in 0..50 {
+            e.tick(cycle, false, &p, &mut ic, &bim, &mut store); // never idle
+        }
+        assert_eq!(e.stats().lines_fetched, 0, "no fetches while slow path busy");
+        assert_eq!(e.stats().traces_built, 0);
+    }
+
+    #[test]
+    fn preprocess_flag_annotates_traces() {
+        let p = call_program();
+        let mut e = PreconEngine::new(EngineConfig {
+            preprocess: true,
+            ..EngineConfig::default()
+        });
+        e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 1);
+        let mut store = drive(&mut e, &p, 200);
+        let key = TraceKey { start: Addr::new(1), branch_count: 0, outcomes: 0 };
+        let f = store.fetch(key);
+        assert!(f.hit, "trace built");
+        assert!(f.preprocess.is_some());
+    }
+
+    #[test]
+    fn already_cached_traces_are_not_buffered() {
+        let p = call_program();
+        let mut e = PreconEngine::new(EngineConfig::default());
+        e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 1);
+        // First run builds the trace and a fetch promotes it into
+        // the trace-cache side of the store.
+        let (mut ic, bim, mut store) = harness();
+        for cycle in 0..200 {
+            e.tick(cycle, true, &p, &mut ic, &bim, &mut store);
+        }
+        let key = TraceKey { start: Addr::new(1), branch_count: 0, outcomes: 0 };
+        assert!(store.fetch(key).hit, "built and promoted");
+        // Second engine run with the trace now cached: the duplicate
+        // check suppresses re-buffering.
+        let mut e2 = PreconEngine::new(EngineConfig::default());
+        e2.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 1);
+        for cycle in 0..200 {
+            e2.tick(cycle, true, &p, &mut ic, &bim, &mut store);
+        }
+        assert!(e2.stats().traces_already_cached >= 1);
+        let again = store.fetch(key);
+        assert!(again.hit && !again.from_precon, "supplied by the cache, not the buffers");
+    }
+}

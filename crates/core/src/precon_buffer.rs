@@ -1,0 +1,295 @@
+//! Preconstruction buffers (paper Section 3.1).
+
+use crate::trace::Trace;
+use tpc_predict::TraceKey;
+
+/// Counters kept by the preconstruction buffers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreconStats {
+    /// Traces inserted.
+    pub fills: u64,
+    /// Fills rejected by the region-priority policy (the set held
+    /// only traces of the same or a newer region).
+    pub rejected: u64,
+    /// Traces displaced by newer regions.
+    pub evictions: u64,
+    /// Successful `take`s (trace moved to the trace cache).
+    pub hits: u64,
+    /// Failed probes.
+    pub misses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    trace: Trace,
+    region: u64,
+}
+
+/// The preconstruction buffers: a 2-way set-associative structure
+/// indexed like the trace cache, holding preconstructed traces until
+/// they are used or displaced.
+///
+/// Replacement follows the paper's region-priority policy: regions
+/// are identified by a monotonically increasing id (newer = higher
+/// priority, and active regions are by construction the newest), and
+///
+/// * a fill may only displace a trace from an *older* region;
+/// * a fill never displaces a trace from its own region — buffer
+///   availability is what bounds preconstruction within a region.
+///
+/// A successful probe *removes* the trace: the caller copies it into
+/// the trace cache and the buffer entry is invalidated, avoiding
+/// redundancy between the two structures.
+///
+/// A capacity of 0 is legal and models the no-preconstruction
+/// baseline: every probe misses, every fill is rejected.
+#[derive(Debug, Clone)]
+pub struct PreconBuffers {
+    ways: u32,
+    set_mask: u64,
+    slots: Vec<Option<Slot>>,
+    stats: PreconStats,
+}
+
+impl PreconBuffers {
+    /// Creates buffers with `entries` total entries, 2-way
+    /// set-associative. `entries == 0` creates disabled buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-zero `entries` is not an even power of two.
+    pub fn new(entries: u32) -> Self {
+        Self::with_ways(entries, 2)
+    }
+
+    /// Creates buffers with explicit associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-zero `entries` does not divide evenly into
+    /// power-of-two sets.
+    pub fn with_ways(entries: u32, ways: u32) -> Self {
+        if entries == 0 {
+            return PreconBuffers {
+                ways: 0,
+                set_mask: 0,
+                slots: Vec::new(),
+                stats: PreconStats::default(),
+            };
+        }
+        assert!(ways > 0 && entries.is_multiple_of(ways), "entries must divide by ways");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        PreconBuffers {
+            ways,
+            set_mask: sets as u64 - 1,
+            slots: vec![None; entries as usize],
+            stats: PreconStats::default(),
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// Whether the buffers are disabled (capacity 0).
+    pub fn is_disabled(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn set_range(&self, key: TraceKey) -> std::ops::Range<usize> {
+        let set = (key.hash64() & self.set_mask) as usize;
+        let start = set * self.ways as usize;
+        start..start + self.ways as usize
+    }
+
+    /// Probes for a trace; on a hit the trace is *removed* and
+    /// returned (the caller installs it in the trace cache).
+    pub fn take(&mut self, key: TraceKey) -> Option<Trace> {
+        if self.is_disabled() {
+            self.stats.misses += 1;
+            return None;
+        }
+        let range = self.set_range(key);
+        for slot in &mut self.slots[range] {
+            if slot.as_ref().is_some_and(|s| s.trace.key() == key) {
+                self.stats.hits += 1;
+                return slot.take().map(|s| s.trace);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Whether a trace with this identity is resident (no stats).
+    pub fn contains(&self, key: TraceKey) -> bool {
+        if self.is_disabled() {
+            return false;
+        }
+        let range = self.set_range(key);
+        self.slots[range]
+            .iter()
+            .any(|s| s.as_ref().is_some_and(|s| s.trace.key() == key))
+    }
+
+    /// Inserts a preconstructed trace tagged with its region.
+    ///
+    /// Returns `true` if the trace was stored. `false` means the
+    /// region-priority policy rejected it (its set holds only
+    /// same-or-newer-region traces) — the signal that bounds
+    /// preconstruction within a region.
+    pub fn fill(&mut self, trace: Trace, region: u64) -> bool {
+        if self.is_disabled() {
+            self.stats.rejected += 1;
+            return false;
+        }
+        let key = trace.key();
+        let range = self.set_range(key);
+
+        // Refresh an existing entry for the same identity.
+        for slot in &mut self.slots[range.clone()] {
+            if slot.as_ref().is_some_and(|s| s.trace.key() == key) {
+                *slot = Some(Slot { trace, region });
+                self.stats.fills += 1;
+                return true;
+            }
+        }
+        // Free way?
+        for slot in &mut self.slots[range.clone()] {
+            if slot.is_none() {
+                *slot = Some(Slot { trace, region });
+                self.stats.fills += 1;
+                return true;
+            }
+        }
+        // Displace the oldest-region victim, but only if it is
+        // strictly older than the filling region.
+        let victim = self.slots[range]
+            .iter_mut()
+            .min_by_key(|s| s.as_ref().map(|s| s.region).unwrap_or(0))
+            .expect("ways > 0");
+        let victim_region = victim.as_ref().map(|s| s.region).unwrap_or(0);
+        if victim_region < region {
+            *victim = Some(Slot { trace, region });
+            self.stats.fills += 1;
+            self.stats.evictions += 1;
+            true
+        } else {
+            self.stats.rejected += 1;
+            false
+        }
+    }
+
+    /// Number of resident traces.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Iterates over the resident traces and their region tags
+    /// (diagnostics and trace-dump tooling).
+    pub fn iter(&self) -> impl Iterator<Item = (&Trace, u64)> {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| (&s.trace, s.region))
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &PreconStats {
+        &self.stats
+    }
+
+    /// Resets counters (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = PreconStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{PushResult, Resolution, TraceBuilder};
+    use tpc_isa::{Addr, Op};
+
+    fn mk_trace(start: u32) -> Trace {
+        let mut b = TraceBuilder::new(Addr::new(start));
+        match b.push(Addr::new(start), Op::Return, Resolution::None) {
+            PushResult::Complete(t) => t,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn take_removes_the_trace() {
+        let mut pb = PreconBuffers::new(32);
+        let t = mk_trace(0);
+        let key = t.key();
+        assert!(pb.fill(t, 1));
+        assert!(pb.take(key).is_some());
+        assert!(pb.take(key).is_none(), "second take misses: entry invalidated");
+        assert_eq!(pb.stats().hits, 1);
+        assert_eq!(pb.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_region_never_displaces_itself() {
+        // 2 entries → 1 set × 2 ways: the third same-region fill must
+        // be rejected (this is the per-region resource bound).
+        let mut pb = PreconBuffers::with_ways(2, 2);
+        assert!(pb.fill(mk_trace(0), 5));
+        assert!(pb.fill(mk_trace(16), 5));
+        assert!(!pb.fill(mk_trace(32), 5));
+        assert_eq!(pb.stats().rejected, 1);
+        assert_eq!(pb.occupancy(), 2);
+    }
+
+    #[test]
+    fn newer_region_displaces_older() {
+        let mut pb = PreconBuffers::with_ways(2, 2);
+        pb.fill(mk_trace(0), 1);
+        pb.fill(mk_trace(16), 2);
+        assert!(pb.fill(mk_trace(32), 3), "region 3 displaces region 1");
+        assert_eq!(pb.stats().evictions, 1);
+        assert!(!pb.contains(mk_trace(0).key()), "oldest region's trace gone");
+    }
+
+    #[test]
+    fn older_region_cannot_displace_newer() {
+        let mut pb = PreconBuffers::with_ways(2, 2);
+        pb.fill(mk_trace(0), 7);
+        pb.fill(mk_trace(16), 8);
+        assert!(!pb.fill(mk_trace(32), 6));
+    }
+
+    #[test]
+    fn refill_same_identity_updates_region() {
+        let mut pb = PreconBuffers::with_ways(2, 2);
+        pb.fill(mk_trace(0), 1);
+        pb.fill(mk_trace(0), 9); // refresh with newer region tag
+        pb.fill(mk_trace(16), 5);
+        // Victim selection must now treat the refreshed entry as region 9.
+        assert!(!pb.fill(mk_trace(32), 5), "no entry older than region 5 remains");
+    }
+
+    #[test]
+    fn disabled_buffers_reject_everything() {
+        let mut pb = PreconBuffers::new(0);
+        assert!(pb.is_disabled());
+        assert!(!pb.fill(mk_trace(0), 1));
+        assert!(pb.take(mk_trace(0).key()).is_none());
+        assert_eq!(pb.capacity(), 0);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut pb = PreconBuffers::new(32); // 16 sets
+        let mut stored = 0;
+        for i in 0..16 {
+            if pb.fill(mk_trace(i * 4), 1) {
+                stored += 1;
+            }
+        }
+        assert!(stored >= 12, "hashing spreads traces across sets: {stored}/16");
+    }
+}

@@ -1,0 +1,636 @@
+//! Trace storage: the split trace-cache/preconstruction-buffer pair
+//! the paper evaluates, and the dynamically partitioned alternative
+//! it suggests as future work.
+//!
+//! Paper Section 5.1: "either a compromise has to be made, or a
+//! design that dynamically allocates space for the preconstruction
+//! buffer may need to be used. We do not investigate dynamically
+//! partitioning space between the trace cache and preconstruction
+//! buffer, but this could likely be done." [`UnifiedStore`] is that
+//! design: one 4-way set-associative array whose ways are assigned a
+//! role — trace-cache or preconstruction — per set-independent
+//! partition, re-balanced at epoch boundaries from hit/miss feedback.
+//! No flush is needed on re-partition because indexing never changes;
+//! only fill placement does.
+
+use crate::precon_buffer::PreconBuffers;
+use crate::preprocess::PreprocessInfo;
+use crate::trace::Trace;
+use crate::trace_cache::TraceCache;
+use tpc_predict::TraceKey;
+
+/// Outcome of a processor-side fetch probe.
+#[derive(Debug, Clone)]
+pub struct StoreFetch {
+    /// Whether the trace was found at all.
+    pub hit: bool,
+    /// Whether it was found on the preconstruction side (and has now
+    /// been promoted into the trace-cache side).
+    pub from_precon: bool,
+    /// Preprocessing annotations carried by the stored trace.
+    pub preprocess: Option<PreprocessInfo>,
+}
+
+impl StoreFetch {
+    const MISS: StoreFetch = StoreFetch {
+        hit: false,
+        from_precon: false,
+        preprocess: None,
+    };
+}
+
+/// Aggregate counters every store keeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Processor-side fetch probes.
+    pub fetches: u64,
+    /// Probes satisfied by the trace-cache side.
+    pub tc_hits: u64,
+    /// Probes satisfied by the preconstruction side.
+    pub precon_hits: u64,
+    /// Probes that missed everywhere.
+    pub misses: u64,
+    /// Preconstruction fills accepted.
+    pub precon_fills: u64,
+    /// Preconstruction fills rejected (replacement policy).
+    pub precon_rejected: u64,
+}
+
+/// Storage for traces: the trace cache plus wherever preconstructed
+/// traces wait. The processor fetches through [`TraceStore::fetch`];
+/// the fill unit inserts through [`TraceStore::fill_demand`]; the
+/// preconstruction engine checks duplicates with
+/// [`TraceStore::contains_cached`] and inserts through
+/// [`TraceStore::fill_precon`].
+pub trait TraceStore: std::fmt::Debug {
+    /// Processor fetch: probes the trace-cache and preconstruction
+    /// sides in parallel; a preconstruction hit is promoted to the
+    /// trace-cache side (paper Section 3.1).
+    fn fetch(&mut self, key: TraceKey) -> StoreFetch;
+
+    /// Whether the trace-cache side already holds this trace (the
+    /// engine's pre-fill duplicate check; no state change).
+    fn contains_cached(&self, key: TraceKey) -> bool;
+
+    /// Fill from the processor's fill unit (slow-path build).
+    fn fill_demand(&mut self, trace: Trace);
+
+    /// Fill from the preconstruction engine. Returns `false` when the
+    /// replacement policy rejects the fill — the per-region resource
+    /// bound that terminates region exploration.
+    fn fill_precon(&mut self, trace: Trace, region: u64) -> bool;
+
+    /// Aggregate counters.
+    fn counters(&self) -> StoreCounters;
+
+    /// Total entries (both roles).
+    fn capacity(&self) -> u32;
+
+    /// Entries currently assigned to the preconstruction role (for
+    /// the adaptive store this varies over time).
+    fn precon_capacity(&self) -> u32;
+
+    /// Resets counters (not contents).
+    fn reset_counters(&mut self);
+}
+
+// ---------------------------------------------------------------------------
+// Split store: the paper's evaluated organization.
+// ---------------------------------------------------------------------------
+
+/// The paper's organization: a 2-way trace cache and a separate 2-way
+/// preconstruction buffer, probed in parallel; buffer hits are copied
+/// into the trace cache and invalidated in the buffer.
+#[derive(Debug)]
+pub struct SplitStore {
+    tc: TraceCache,
+    pb: PreconBuffers,
+    counters: StoreCounters,
+}
+
+impl SplitStore {
+    /// Creates a split store with `tc_entries` + `pb_entries`
+    /// (0 disables the preconstruction side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-zero size is not an even power of two.
+    pub fn new(tc_entries: u32, pb_entries: u32) -> Self {
+        SplitStore {
+            tc: TraceCache::new(tc_entries),
+            pb: PreconBuffers::new(pb_entries),
+            counters: StoreCounters::default(),
+        }
+    }
+
+    /// The trace-cache half (stats, occupancy).
+    pub fn trace_cache(&self) -> &TraceCache {
+        &self.tc
+    }
+
+    /// The preconstruction-buffer half.
+    pub fn buffers(&self) -> &PreconBuffers {
+        &self.pb
+    }
+}
+
+impl TraceStore for SplitStore {
+    fn fetch(&mut self, key: TraceKey) -> StoreFetch {
+        self.counters.fetches += 1;
+        if let Some(t) = self.tc.lookup(key) {
+            self.counters.tc_hits += 1;
+            return StoreFetch {
+                hit: true,
+                from_precon: false,
+                preprocess: t.preprocess_info().cloned(),
+            };
+        }
+        if let Some(t) = self.pb.take(key) {
+            self.counters.precon_hits += 1;
+            let preprocess = t.preprocess_info().cloned();
+            self.tc.fill(t);
+            return StoreFetch {
+                hit: true,
+                from_precon: true,
+                preprocess,
+            };
+        }
+        self.counters.misses += 1;
+        StoreFetch::MISS
+    }
+
+    fn contains_cached(&self, key: TraceKey) -> bool {
+        self.tc.contains(key)
+    }
+
+    fn fill_demand(&mut self, trace: Trace) {
+        self.tc.fill(trace);
+    }
+
+    fn fill_precon(&mut self, trace: Trace, region: u64) -> bool {
+        let ok = self.pb.fill(trace, region);
+        if ok {
+            self.counters.precon_fills += 1;
+        } else {
+            self.counters.precon_rejected += 1;
+        }
+        ok
+    }
+
+    fn counters(&self) -> StoreCounters {
+        self.counters
+    }
+
+    fn capacity(&self) -> u32 {
+        self.tc.capacity() + self.pb.capacity()
+    }
+
+    fn precon_capacity(&self) -> u32 {
+        self.pb.capacity()
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters = StoreCounters::default();
+        self.tc.reset_stats();
+        self.pb.reset_stats();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unified store: dynamic partitioning.
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`UnifiedStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnifiedConfig {
+    /// Total entries (4-way set-associative; must be a multiple of 4
+    /// with a power-of-two set count).
+    pub entries: u32,
+    /// Ways (of 4) initially assigned to the preconstruction role.
+    pub initial_pb_ways: u8,
+    /// Re-evaluate the partition every this many fetches (0 = fixed
+    /// partition).
+    pub epoch_fetches: u64,
+}
+
+impl Default for UnifiedConfig {
+    fn default() -> Self {
+        UnifiedConfig {
+            entries: 512,
+            initial_pb_ways: 1,
+            epoch_fetches: 4096,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct UnifiedSlot {
+    trace: Trace,
+    /// `Some(region)` while the entry holds a not-yet-used
+    /// preconstructed trace; `None` once it is demand content.
+    region: Option<u64>,
+    stamp: u64,
+}
+
+/// One 4-way array holding both roles, with per-way role assignment
+/// re-balanced at epoch boundaries.
+///
+/// * ways `0 .. 4-pb_ways` accept demand fills (LRU replacement);
+/// * ways `4-pb_ways .. 4` accept preconstruction fills
+///   (region-priority replacement, as in [`PreconBuffers`]);
+/// * *all* ways are probed on fetch; a hit on a preconstruction
+///   entry clears its region tag (promotion without copying — the
+///   advantage of the unified organization);
+/// * every `epoch_fetches` fetches the controller compares how much
+///   supply the preconstruction ways produced against the miss rate
+///   and moves one way between roles (between 0 and 2 of the 4).
+#[derive(Debug)]
+pub struct UnifiedStore {
+    config: UnifiedConfig,
+    sets: u32,
+    slots: Vec<Option<UnifiedSlot>>,
+    pb_ways: u8,
+    clock: u64,
+    counters: StoreCounters,
+    epoch_fetches: u64,
+    epoch_precon_hits: u64,
+    epoch_misses: u64,
+    /// (epoch index, pb_ways after adaptation) history for tests and
+    /// diagnostics.
+    adaptations: Vec<(u64, u8)>,
+    epoch_index: u64,
+}
+
+const UNIFIED_WAYS: usize = 4;
+
+impl UnifiedStore {
+    /// Creates a unified store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of 4 with a power-of-two
+    /// set count, or `initial_pb_ways > 2`.
+    pub fn new(config: UnifiedConfig) -> Self {
+        assert!(config.entries.is_multiple_of(4), "entries must be a multiple of 4");
+        let sets = config.entries / 4;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(config.initial_pb_ways <= 2, "at most half the ways for preconstruction");
+        UnifiedStore {
+            sets,
+            slots: vec![None; config.entries as usize],
+            pb_ways: config.initial_pb_ways,
+            clock: 0,
+            counters: StoreCounters::default(),
+            epoch_fetches: 0,
+            epoch_precon_hits: 0,
+            epoch_misses: 0,
+            adaptations: Vec::new(),
+            epoch_index: 0,
+            config,
+        }
+    }
+
+    /// Ways currently assigned to the preconstruction role.
+    pub fn pb_ways(&self) -> u8 {
+        self.pb_ways
+    }
+
+    /// The adaptation history: (epoch index, pb_ways chosen).
+    pub fn adaptations(&self) -> &[(u64, u8)] {
+        &self.adaptations
+    }
+
+    fn set_range(&self, key: TraceKey) -> std::ops::Range<usize> {
+        let set = (key.hash64() & (self.sets as u64 - 1)) as usize;
+        set * UNIFIED_WAYS..(set + 1) * UNIFIED_WAYS
+    }
+
+    fn maybe_adapt(&mut self) {
+        if self.config.epoch_fetches == 0 {
+            return;
+        }
+        self.epoch_fetches += 1;
+        if self.epoch_fetches < self.config.epoch_fetches {
+            return;
+        }
+        // Controller: preconstruction supply that materially offsets
+        // misses earns capacity; idle preconstruction ways return to
+        // the trace cache.
+        let hits = self.epoch_precon_hits;
+        let misses = self.epoch_misses;
+        if hits * 2 > misses && self.pb_ways < 2 {
+            self.pb_ways += 1;
+        } else if hits * 8 < misses && self.pb_ways > 0 {
+            self.pb_ways -= 1;
+        }
+        self.epoch_index += 1;
+        self.adaptations.push((self.epoch_index, self.pb_ways));
+        self.epoch_fetches = 0;
+        self.epoch_precon_hits = 0;
+        self.epoch_misses = 0;
+    }
+}
+
+impl TraceStore for UnifiedStore {
+    fn fetch(&mut self, key: TraceKey) -> StoreFetch {
+        self.counters.fetches += 1;
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(key);
+        let mut result = StoreFetch::MISS;
+        for s in self.slots[range].iter_mut().flatten() {
+            if s.trace.key() == key {
+                s.stamp = clock;
+                let from_precon = s.region.take().is_some();
+                result = StoreFetch {
+                    hit: true,
+                    from_precon,
+                    preprocess: s.trace.preprocess_info().cloned(),
+                };
+                break;
+            }
+        }
+        if result.hit {
+            if result.from_precon {
+                self.counters.precon_hits += 1;
+                self.epoch_precon_hits += 1;
+            } else {
+                self.counters.tc_hits += 1;
+            }
+        } else {
+            self.counters.misses += 1;
+            self.epoch_misses += 1;
+        }
+        self.maybe_adapt();
+        result
+    }
+
+    fn contains_cached(&self, key: TraceKey) -> bool {
+        // Only *used* (demand) content counts as cached: a pending
+        // preconstructed entry may still be replaced, so the engine
+        // treats it as its own responsibility.
+        let range = self.set_range(key);
+        self.slots[range]
+            .iter()
+            .flatten()
+            .any(|s| s.trace.key() == key && s.region.is_none())
+    }
+
+    fn fill_demand(&mut self, trace: Trace) {
+        self.clock += 1;
+        let clock = self.clock;
+        let key = trace.key();
+        let range = self.set_range(key);
+        let tc_ways = UNIFIED_WAYS - self.pb_ways as usize;
+        // Refresh an existing entry with the same identity.
+        for slot in &mut self.slots[range.clone()] {
+            if slot.as_ref().is_some_and(|s| s.trace.key() == key) {
+                *slot = Some(UnifiedSlot { trace, region: None, stamp: clock });
+                return;
+            }
+        }
+        let slots = &mut self.slots[range];
+        // Free demand way?
+        for slot in slots[..tc_ways].iter_mut() {
+            if slot.is_none() {
+                *slot = Some(UnifiedSlot { trace, region: None, stamp: clock });
+                return;
+            }
+        }
+        // LRU among the demand ways.
+        let victim = slots[..tc_ways]
+            .iter_mut()
+            .min_by_key(|s| s.as_ref().map(|s| s.stamp).unwrap_or(0))
+            .expect("tc_ways >= 2");
+        *victim = Some(UnifiedSlot { trace, region: None, stamp: clock });
+    }
+
+    fn fill_precon(&mut self, trace: Trace, region: u64) -> bool {
+        if self.pb_ways == 0 {
+            self.counters.precon_rejected += 1;
+            return false;
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let key = trace.key();
+        let range = self.set_range(key);
+        let tc_ways = UNIFIED_WAYS - self.pb_ways as usize;
+        // Refresh same identity anywhere.
+        for slot in &mut self.slots[range.clone()] {
+            if slot.as_ref().is_some_and(|s| s.trace.key() == key) {
+                *slot = Some(UnifiedSlot { trace, region: Some(region), stamp: clock });
+                self.counters.precon_fills += 1;
+                return true;
+            }
+        }
+        let slots = &mut self.slots[range];
+        let pb_slots = &mut slots[tc_ways..];
+        // Free preconstruction way?
+        for slot in pb_slots.iter_mut() {
+            if slot.is_none() {
+                *slot = Some(UnifiedSlot { trace, region: Some(region), stamp: clock });
+                self.counters.precon_fills += 1;
+                return true;
+            }
+        }
+        // Region-priority replacement (used demand entries that ended
+        // up in a PB way after a repartition count as oldest).
+        let victim = pb_slots
+            .iter_mut()
+            .min_by_key(|s| s.as_ref().and_then(|s| s.region).unwrap_or(0))
+            .expect("pb_ways >= 1");
+        let victim_region = victim.as_ref().and_then(|s| s.region).unwrap_or(0);
+        if victim_region < region {
+            *victim = Some(UnifiedSlot { trace, region: Some(region), stamp: clock });
+            self.counters.precon_fills += 1;
+            true
+        } else {
+            self.counters.precon_rejected += 1;
+            false
+        }
+    }
+
+    fn counters(&self) -> StoreCounters {
+        self.counters
+    }
+
+    fn capacity(&self) -> u32 {
+        self.config.entries
+    }
+
+    fn precon_capacity(&self) -> u32 {
+        self.sets * self.pb_ways as u32
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters = StoreCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{PushResult, Resolution, TraceBuilder};
+    use tpc_isa::{Addr, Op};
+
+    fn mk_trace(start: u32) -> Trace {
+        let mut b = TraceBuilder::new(Addr::new(start));
+        match b.push(Addr::new(start), Op::Return, Resolution::None) {
+            PushResult::Complete(t) => t,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    // ---- SplitStore -----------------------------------------------
+
+    #[test]
+    fn split_fetch_miss_then_demand_fill_hits() {
+        let mut s = SplitStore::new(64, 32);
+        let t = mk_trace(0);
+        let key = t.key();
+        assert!(!s.fetch(key).hit);
+        s.fill_demand(t);
+        let f = s.fetch(key);
+        assert!(f.hit && !f.from_precon);
+        assert_eq!(s.counters().tc_hits, 1);
+    }
+
+    #[test]
+    fn split_precon_hit_promotes_into_trace_cache() {
+        let mut s = SplitStore::new(64, 32);
+        let t = mk_trace(16);
+        let key = t.key();
+        assert!(s.fill_precon(t, 1));
+        let f = s.fetch(key);
+        assert!(f.hit && f.from_precon);
+        // Now resident on the TC side; second fetch is a TC hit.
+        let f2 = s.fetch(key);
+        assert!(f2.hit && !f2.from_precon);
+        assert!(s.contains_cached(key));
+    }
+
+    #[test]
+    fn split_zero_pb_rejects_precon_fills() {
+        let mut s = SplitStore::new(64, 0);
+        assert!(!s.fill_precon(mk_trace(0), 1));
+        assert_eq!(s.precon_capacity(), 0);
+        assert_eq!(s.counters().precon_rejected, 1);
+    }
+
+    #[test]
+    fn split_counters_conserve() {
+        let mut s = SplitStore::new(64, 32);
+        let t = mk_trace(0);
+        let key = t.key();
+        s.fetch(key);
+        s.fill_demand(t);
+        s.fetch(key);
+        let c = s.counters();
+        assert_eq!(c.fetches, c.tc_hits + c.precon_hits + c.misses);
+    }
+
+    // ---- UnifiedStore ---------------------------------------------
+
+    fn unified(entries: u32, pb_ways: u8, epoch: u64) -> UnifiedStore {
+        UnifiedStore::new(UnifiedConfig {
+            entries,
+            initial_pb_ways: pb_ways,
+            epoch_fetches: epoch,
+        })
+    }
+
+    #[test]
+    fn unified_demand_roundtrip() {
+        let mut s = unified(64, 1, 0);
+        let t = mk_trace(0);
+        let key = t.key();
+        assert!(!s.fetch(key).hit);
+        s.fill_demand(t);
+        let f = s.fetch(key);
+        assert!(f.hit && !f.from_precon);
+    }
+
+    #[test]
+    fn unified_precon_hit_promotes_in_place() {
+        let mut s = unified(64, 1, 0);
+        let t = mk_trace(0);
+        let key = t.key();
+        assert!(s.fill_precon(t, 3));
+        assert!(!s.contains_cached(key), "pending precon entries are not 'cached'");
+        let f = s.fetch(key);
+        assert!(f.hit && f.from_precon);
+        assert!(s.contains_cached(key), "promoted in place");
+        let f2 = s.fetch(key);
+        assert!(f2.hit && !f2.from_precon);
+    }
+
+    #[test]
+    fn unified_zero_pb_ways_rejects() {
+        let mut s = unified(64, 0, 0);
+        assert!(!s.fill_precon(mk_trace(0), 1));
+        assert_eq!(s.precon_capacity(), 0);
+    }
+
+    #[test]
+    fn unified_region_priority_in_pb_ways() {
+        // 4 entries = 1 set; 1 pb way. Region 5 occupies it; region 4
+        // must be rejected, region 6 must displace.
+        let mut s = unified(4, 1, 0);
+        assert!(s.fill_precon(mk_trace(0), 5));
+        assert!(!s.fill_precon(mk_trace(16), 4));
+        assert!(s.fill_precon(mk_trace(32), 6));
+    }
+
+    #[test]
+    fn unified_demand_fills_stay_out_of_pb_ways() {
+        // 1 set, 2 pb ways → 2 demand ways. Three demand fills must
+        // not evict the pending preconstructed trace.
+        let mut s = unified(4, 2, 0);
+        let pre = mk_trace(0);
+        let pre_key = pre.key();
+        assert!(s.fill_precon(pre, 1));
+        for i in 1..=3 {
+            s.fill_demand(mk_trace(i * 16));
+        }
+        assert!(s.fetch(pre_key).hit, "precon entry survived demand pressure");
+    }
+
+    #[test]
+    fn unified_adapts_pb_ways_up_under_useful_precon() {
+        let mut s = unified(64, 1, 16);
+        // Produce an epoch where precon hits dominate misses.
+        for i in 0..16u32 {
+            let t = mk_trace(i * 16);
+            let key = t.key();
+            assert!(s.fill_precon(t, i as u64 + 1));
+            s.fetch(key);
+        }
+        assert_eq!(s.pb_ways(), 2, "controller grew the precon partition");
+        assert!(!s.adaptations().is_empty());
+    }
+
+    #[test]
+    fn unified_adapts_pb_ways_down_when_idle() {
+        let mut s = unified(64, 1, 16);
+        // An epoch of pure misses: preconstruction contributes nothing.
+        for i in 0..16u32 {
+            s.fetch(mk_trace(i * 16).key());
+        }
+        assert_eq!(s.pb_ways(), 0, "controller reclaimed the precon way");
+    }
+
+    #[test]
+    fn unified_fixed_partition_with_zero_epoch() {
+        let mut s = unified(64, 1, 0);
+        for i in 0..100u32 {
+            s.fetch(mk_trace(i * 16).key());
+        }
+        assert_eq!(s.pb_ways(), 1, "no adaptation when epoch = 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn unified_bad_geometry_rejected() {
+        let _ = unified(62, 1, 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! The trace cache.
+
+use crate::trace::Trace;
+use std::collections::HashMap;
+use tpc_mem::{CacheGeometry, SetAssocCache};
+use tpc_predict::TraceKey;
+
+/// Counters kept by the trace cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCacheStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Traces inserted.
+    pub fills: u64,
+    /// Traces evicted by replacement.
+    pub evictions: u64,
+}
+
+/// The 2-way set-associative trace cache (paper Section 4.1: 64 to
+/// 1024 entries, LRU replacement), indexed by a hash of the trace's
+/// start address and branch outcomes.
+///
+/// ```
+/// use tpc_core::{TraceCache, TraceBuilder, Resolution, PushResult};
+/// use tpc_isa::{Addr, Op, Reg};
+///
+/// let mut tc = TraceCache::new(64);
+/// let mut b = TraceBuilder::new(Addr::new(0));
+/// let trace = match b.push(Addr::new(0), Op::Halt, Resolution::None) {
+///     PushResult::Complete(t) => t,
+///     _ => unreachable!(),
+/// };
+/// let key = trace.key();
+/// tc.fill(trace);
+/// assert!(tc.lookup(key).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceCache {
+    tags: SetAssocCache,
+    storage: HashMap<u64, Trace>,
+    stats: TraceCacheStats,
+}
+
+impl TraceCache {
+    /// Creates a trace cache with `entries` total entries, 2-way
+    /// set-associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not an even power of two (so that
+    /// `entries / 2` sets is a power of two).
+    pub fn new(entries: u32) -> Self {
+        Self::with_ways(entries, 2)
+    }
+
+    /// Creates a trace cache with explicit associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry (see [`CacheGeometry`]).
+    pub fn with_ways(entries: u32, ways: u32) -> Self {
+        TraceCache {
+            tags: SetAssocCache::new(CacheGeometry::with_entries(entries, ways)),
+            storage: HashMap::with_capacity(entries as usize),
+            stats: TraceCacheStats::default(),
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> u32 {
+        self.tags.geometry().entries()
+    }
+
+    /// Looks up a trace by identity, updating LRU state.
+    ///
+    /// A hash collision between distinct keys behaves like a miss
+    /// (the stored trace's key is compared before it is returned), as
+    /// a tag mismatch would in hardware.
+    pub fn lookup(&mut self, key: TraceKey) -> Option<&Trace> {
+        self.stats.lookups += 1;
+        let h = key.hash64();
+        if self.tags.access(h) {
+            if let Some(t) = self.storage.get(&h) {
+                if t.key() == key {
+                    return Some(t);
+                }
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Whether a trace with this identity is resident (no LRU
+    /// update, no stats).
+    pub fn contains(&self, key: TraceKey) -> bool {
+        let h = key.hash64();
+        self.tags.probe(h) && self.storage.get(&h).is_some_and(|t| t.key() == key)
+    }
+
+    /// Inserts a trace, evicting the set's LRU entry when full.
+    pub fn fill(&mut self, trace: Trace) {
+        self.stats.fills += 1;
+        let h = trace.key().hash64();
+        if let Some(evicted) = self.tags.fill(h) {
+            if evicted != h {
+                self.storage.remove(&evicted);
+                self.stats.evictions += 1;
+            }
+        }
+        self.storage.insert(h, trace);
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &TraceCacheStats {
+        &self.stats
+    }
+
+    /// Resets counters (not contents) — used to separate warm-up
+    /// from measurement.
+    pub fn reset_stats(&mut self) {
+        self.stats = TraceCacheStats::default();
+    }
+
+    /// Number of resident traces.
+    pub fn occupancy(&self) -> usize {
+        self.tags.occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{PushResult, Resolution, TraceBuilder};
+    use tpc_isa::{Addr, Op, Reg};
+
+    /// Builds a one-branch trace starting at `start` with the given
+    /// branch outcome, ending in a return.
+    fn mk_trace(start: u32, taken: bool) -> Trace {
+        let mut b = TraceBuilder::new(Addr::new(start));
+        let branch = Op::Branch {
+            cond: tpc_isa::BranchCond::Ne,
+            rs1: Reg::new(1),
+            rs2: Reg::new(2),
+            target: Addr::new(start + 8),
+        };
+        let next = if taken { start + 8 } else { start + 1 };
+        b.push(
+            Addr::new(start),
+            branch,
+            Resolution::Branch { taken, next_pc: Addr::new(next) },
+        );
+        match b.push(Addr::new(next), Op::Return, Resolution::None) {
+            PushResult::Complete(t) => t,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut tc = TraceCache::new(64);
+        let t = mk_trace(0, true);
+        let key = t.key();
+        assert!(tc.lookup(key).is_none());
+        tc.fill(t);
+        assert!(tc.lookup(key).is_some());
+        assert_eq!(tc.stats().lookups, 2);
+        assert_eq!(tc.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_start_different_path_are_distinct() {
+        let mut tc = TraceCache::new(64);
+        tc.fill(mk_trace(0, true));
+        let other = mk_trace(0, false).key();
+        assert!(tc.lookup(other).is_none(), "outcome bits are part of identity");
+    }
+
+    #[test]
+    fn capacity_pressure_evicts() {
+        let mut tc = TraceCache::new(4); // 2 sets × 2 ways
+        for i in 0..32 {
+            tc.fill(mk_trace(i * 16, true));
+        }
+        assert!(tc.occupancy() <= 4);
+        assert!(tc.stats().evictions >= 28);
+    }
+
+    #[test]
+    fn contains_does_not_count_stats() {
+        let mut tc = TraceCache::new(64);
+        let t = mk_trace(32, false);
+        let key = t.key();
+        tc.fill(t);
+        assert!(tc.contains(key));
+        assert_eq!(tc.stats().lookups, 0);
+    }
+
+    #[test]
+    fn refill_updates_payload_without_eviction() {
+        let mut tc = TraceCache::new(64);
+        let t = mk_trace(0, true);
+        let key = t.key();
+        tc.fill(t.clone());
+        tc.fill(t);
+        assert_eq!(tc.stats().evictions, 0);
+        assert!(tc.contains(key));
+        assert_eq!(tc.occupancy(), 1);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut tc = TraceCache::new(64);
+        let t = mk_trace(16, true);
+        let key = t.key();
+        tc.fill(t);
+        tc.reset_stats();
+        assert_eq!(tc.stats().fills, 0);
+        assert!(tc.contains(key));
+    }
+}

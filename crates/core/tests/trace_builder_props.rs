@@ -1,0 +1,143 @@
+//! Property tests over the trace builder: the selection rules hold
+//! for arbitrary instruction/outcome sequences.
+
+use proptest::prelude::*;
+use tpc_core::{PushResult, Resolution, TraceBuilder, TraceStop, ALIGN_QUANTUM, MAX_TRACE_LEN};
+use tpc_isa::{Addr, BranchCond, Op, OpClass, Reg};
+
+/// A generator-friendly instruction menu: index-shaped ops placed at
+/// sequential addresses, with branch direction/backwardness encoded.
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    Alu,
+    Load,
+    Store,
+    FwdBranch { taken: bool },
+    BackBranch { taken: bool },
+    Jump,
+    Call,
+    Return,
+    Indirect,
+}
+
+fn shapes() -> impl Strategy<Value = Vec<Shape>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => Just(Shape::Alu),
+            2 => Just(Shape::Load),
+            1 => Just(Shape::Store),
+            2 => any::<bool>().prop_map(|taken| Shape::FwdBranch { taken }),
+            2 => any::<bool>().prop_map(|taken| Shape::BackBranch { taken }),
+            1 => Just(Shape::Jump),
+            1 => Just(Shape::Call),
+            1 => Just(Shape::Return),
+            1 => Just(Shape::Indirect),
+        ],
+        1..40,
+    )
+}
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+proptest! {
+    #[test]
+    fn builder_invariants(shapes in shapes()) {
+        let start = Addr::new(1000);
+        let mut b = TraceBuilder::new(start);
+        let mut pc = start;
+        let mut pushed = 0usize;
+        let mut branch_outcomes: Vec<bool> = Vec::new();
+        let mut last_backward: Option<usize> = None;
+
+        let mut completed = None;
+        for shape in &shapes {
+            let (op, resolution) = match *shape {
+                Shape::Alu => (Op::AddImm { rd: r(1), rs1: r(2), imm: 1 }, Resolution::None),
+                Shape::Load => (Op::Load { rd: r(1), base: r(2), offset: 0 }, Resolution::None),
+                Shape::Store => (Op::Store { src: r(1), base: r(2), offset: 0 }, Resolution::None),
+                Shape::FwdBranch { taken } => {
+                    let target = pc + 10;
+                    let next = if taken { target } else { pc.next() };
+                    (
+                        Op::Branch { cond: BranchCond::Ne, rs1: r(1), rs2: r(2), target },
+                        Resolution::Branch { taken, next_pc: next },
+                    )
+                }
+                Shape::BackBranch { taken } => {
+                    let target = Addr::new(pc.word().saturating_sub(5));
+                    let next = if taken { target } else { pc.next() };
+                    (
+                        Op::Branch { cond: BranchCond::Ne, rs1: r(1), rs2: r(2), target },
+                        Resolution::Branch { taken, next_pc: next },
+                    )
+                }
+                Shape::Jump => (Op::Jump { target: pc + 7 }, Resolution::None),
+                Shape::Call => (Op::Call { target: pc + 9 }, Resolution::None),
+                Shape::Return => (Op::Return, Resolution::Target(pc + 3)),
+                Shape::Indirect => (Op::IndirectJump { rs1: r(4) }, Resolution::None),
+            };
+            if matches!(op.class(), OpClass::Branch) {
+                if let Resolution::Branch { taken, .. } = resolution {
+                    branch_outcomes.push(taken);
+                }
+                if op.is_backward_branch(pc) {
+                    last_backward = Some(pushed);
+                }
+            }
+            match b.push(pc, op, resolution) {
+                PushResult::Continue(next) => {
+                    pushed += 1;
+                    pc = next;
+                }
+                PushResult::Complete(t) => {
+                    pushed += 1;
+                    completed = Some(t);
+                    break;
+                }
+            }
+        }
+
+        if let Some(t) = completed {
+            // Length and identity invariants.
+            prop_assert!(!t.is_empty() && t.len() <= MAX_TRACE_LEN);
+            prop_assert_eq!(t.len(), pushed);
+            prop_assert_eq!(t.start(), start);
+            prop_assert_eq!(t.key().branch_count as usize, branch_outcomes.len());
+            for (i, &taken) in branch_outcomes.iter().enumerate() {
+                prop_assert_eq!(t.branch_outcome(i as u8), Some(taken));
+            }
+            // Stop-rule post-conditions.
+            match t.stop() {
+                TraceStop::Full => prop_assert_eq!(t.len(), MAX_TRACE_LEN),
+                TraceStop::Return => prop_assert_eq!(
+                    t.instrs().last().expect("non-empty").op.class(),
+                    OpClass::Return
+                ),
+                TraceStop::IndirectJump => prop_assert_eq!(
+                    t.instrs().last().expect("non-empty").op.class(),
+                    OpClass::IndirectJump
+                ),
+                TraceStop::Halt => {}
+                TraceStop::Alignment => {
+                    let p = last_backward.expect("alignment needs a backward branch");
+                    let past = t.len() - 1 - p;
+                    prop_assert!(past > 0 && past.is_multiple_of(ALIGN_QUANTUM),
+                        "ends a positive multiple of {} past the backward branch, got {}",
+                        ALIGN_QUANTUM, past);
+                }
+            }
+            // Alignment bound: never more than ALIGN_QUANTUM
+            // instructions past the most recent backward branch.
+            if let Some(p) = last_backward {
+                if p < t.len() - 1 {
+                    prop_assert!(t.len() - 1 - p <= ALIGN_QUANTUM);
+                }
+            }
+        } else {
+            // No completion: the builder must still be within bounds.
+            prop_assert!(pushed < MAX_TRACE_LEN);
+        }
+    }
+}

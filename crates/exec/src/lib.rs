@@ -1,0 +1,34 @@
+//! # tpc-exec — architectural executor
+//!
+//! Walks a [`tpc_isa::Program`] and produces its dynamic instruction
+//! stream: the sequence of `(pc, op, branch outcome, next pc)` the
+//! timing model consumes. Register dataflow is executed for real
+//! (the backend's dependence timing relies on it); control flow is
+//! resolved through the program's attached behaviour models (see
+//! `tpc_isa::model`), making every run deterministic.
+//!
+//! The executor is an [`Iterator`]: each `next()` retires one
+//! architectural instruction. When the program halts, execution
+//! restarts from the entry point (preserving per-branch model state),
+//! so arbitrarily long instruction budgets can be simulated; the
+//! number of completed passes is reported by
+//! [`Executor::completions`].
+//!
+//! ```
+//! use tpc_isa::{ProgramBuilder, Op, Reg};
+//! use tpc_exec::Executor;
+//!
+//! # fn main() -> Result<(), tpc_isa::ProgramError> {
+//! let mut b = ProgramBuilder::new();
+//! b.push(Op::AddImm { rd: Reg::new(1), rs1: Reg::ZERO, imm: 7 });
+//! b.push(Op::Halt);
+//! let program = b.build()?;
+//! let first = Executor::new(&program).next().expect("one instruction");
+//! assert_eq!(first.pc.word(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod executor;
+
+pub use executor::{DynInstr, Executor};

@@ -1,0 +1,158 @@
+//! Property test: the executor's ALU semantics agree with an
+//! independent reference interpreter on random straight-line
+//! programs.
+
+use proptest::prelude::*;
+use tpc_exec::Executor;
+use tpc_isa::{Op, ProgramBuilder, Reg};
+
+#[derive(Debug, Clone, Copy)]
+enum AluShape {
+    Add(u8, u8, u8),
+    Sub(u8, u8, u8),
+    And(u8, u8, u8),
+    Or(u8, u8, u8),
+    Xor(u8, u8, u8),
+    Shl(u8, u8, u8),
+    Shr(u8, u8, u8),
+    AddImm(u8, u8, i32),
+    LoadImm(u8, i32),
+    Mul(u8, u8, u8),
+    Div(u8, u8, u8),
+}
+
+fn reg_idx() -> impl Strategy<Value = u8> {
+    0u8..16
+}
+
+fn shapes() -> impl Strategy<Value = Vec<AluShape>> {
+    prop::collection::vec(
+        prop_oneof![
+            (reg_idx(), reg_idx(), reg_idx()).prop_map(|(a, b, c)| AluShape::Add(a, b, c)),
+            (reg_idx(), reg_idx(), reg_idx()).prop_map(|(a, b, c)| AluShape::Sub(a, b, c)),
+            (reg_idx(), reg_idx(), reg_idx()).prop_map(|(a, b, c)| AluShape::And(a, b, c)),
+            (reg_idx(), reg_idx(), reg_idx()).prop_map(|(a, b, c)| AluShape::Or(a, b, c)),
+            (reg_idx(), reg_idx(), reg_idx()).prop_map(|(a, b, c)| AluShape::Xor(a, b, c)),
+            (reg_idx(), reg_idx(), 0u8..32).prop_map(|(a, b, s)| AluShape::Shl(a, b, s)),
+            (reg_idx(), reg_idx(), 0u8..32).prop_map(|(a, b, s)| AluShape::Shr(a, b, s)),
+            (reg_idx(), reg_idx(), -1000i32..1000).prop_map(|(a, b, i)| AluShape::AddImm(a, b, i)),
+            (reg_idx(), -1000i32..1000).prop_map(|(a, i)| AluShape::LoadImm(a, i)),
+            (reg_idx(), reg_idx(), reg_idx()).prop_map(|(a, b, c)| AluShape::Mul(a, b, c)),
+            (reg_idx(), reg_idx(), reg_idx()).prop_map(|(a, b, c)| AluShape::Div(a, b, c)),
+        ],
+        1..60,
+    )
+}
+
+fn to_op(s: AluShape) -> Op {
+    let r = Reg::new;
+    match s {
+        AluShape::Add(a, b, c) => Op::Add { rd: r(a), rs1: r(b), rs2: r(c) },
+        AluShape::Sub(a, b, c) => Op::Sub { rd: r(a), rs1: r(b), rs2: r(c) },
+        AluShape::And(a, b, c) => Op::And { rd: r(a), rs1: r(b), rs2: r(c) },
+        AluShape::Or(a, b, c) => Op::Or { rd: r(a), rs1: r(b), rs2: r(c) },
+        AluShape::Xor(a, b, c) => Op::Xor { rd: r(a), rs1: r(b), rs2: r(c) },
+        AluShape::Shl(a, b, s) => Op::Shl { rd: r(a), rs1: r(b), shamt: s },
+        AluShape::Shr(a, b, s) => Op::Shr { rd: r(a), rs1: r(b), shamt: s },
+        AluShape::AddImm(a, b, i) => Op::AddImm { rd: r(a), rs1: r(b), imm: i },
+        AluShape::LoadImm(a, i) => Op::LoadImm { rd: r(a), imm: i },
+        AluShape::Mul(a, b, c) => Op::Mul { rd: r(a), rs1: r(b), rs2: r(c) },
+        AluShape::Div(a, b, c) => Op::Div { rd: r(a), rs1: r(b), rs2: r(c) },
+    }
+}
+
+/// Independent interpretation of the same semantics.
+fn reference(shapes: &[AluShape]) -> [i64; 32] {
+    let mut regs = [0i64; 32];
+    fn write(regs: &mut [i64; 32], rd: u8, v: i64) {
+        if rd != 0 {
+            regs[rd as usize] = v;
+        }
+    }
+    for &s in shapes {
+        match s {
+            AluShape::Add(a, b, c) => {
+                let v = regs[b as usize].wrapping_add(regs[c as usize]);
+                write(&mut regs, a, v)
+            }
+            AluShape::Sub(a, b, c) => {
+                let v = regs[b as usize].wrapping_sub(regs[c as usize]);
+                write(&mut regs, a, v)
+            }
+            AluShape::And(a, b, c) => {
+                let v = regs[b as usize] & regs[c as usize];
+                write(&mut regs, a, v)
+            }
+            AluShape::Or(a, b, c) => {
+                let v = regs[b as usize] | regs[c as usize];
+                write(&mut regs, a, v)
+            }
+            AluShape::Xor(a, b, c) => {
+                let v = regs[b as usize] ^ regs[c as usize];
+                write(&mut regs, a, v)
+            }
+            AluShape::Shl(a, b, s) => {
+                let v = (regs[b as usize] as u64).wrapping_shl(s as u32) as i64;
+                write(&mut regs, a, v)
+            }
+            AluShape::Shr(a, b, s) => {
+                let v = ((regs[b as usize] as u64) >> s as u32) as i64;
+                write(&mut regs, a, v)
+            }
+            AluShape::AddImm(a, b, i) => {
+                let v = regs[b as usize].wrapping_add(i as i64);
+                write(&mut regs, a, v)
+            }
+            AluShape::LoadImm(a, i) => {
+                let v = i as i64;
+                write(&mut regs, a, v)
+            }
+            AluShape::Mul(a, b, c) => {
+                let v = regs[b as usize].wrapping_mul(regs[c as usize]);
+                write(&mut regs, a, v)
+            }
+            AluShape::Div(a, b, c) => {
+                let d = regs[c as usize];
+                let v = if d == 0 { 0 } else { regs[b as usize].wrapping_div(d) };
+                write(&mut regs, a, v)
+            }
+        }
+    }
+    regs
+}
+
+proptest! {
+    #[test]
+    fn alu_semantics_match_reference(shapes in shapes()) {
+        // Build: shapes…; store r1..r15 to memory via addresses?
+        // Simpler: execute and compare through load addresses — the
+        // executor reveals register values via load/store effective
+        // addresses. We store each register's value as an address.
+        let mut b = ProgramBuilder::new();
+        for &s in &shapes {
+            b.push(to_op(s));
+        }
+        // Reveal r0..r15 through store effective addresses
+        // (mem_addr = value & footprint mask).
+        for i in 0..16u8 {
+            b.push(Op::Store { src: Reg::ZERO, base: Reg::new(i), offset: 0 });
+        }
+        b.push(Op::Halt);
+        let p = b.build().expect("valid straight-line program");
+        let expected = reference(&shapes);
+
+        let mut ex = Executor::new(&p);
+        for _ in 0..shapes.len() {
+            ex.next();
+        }
+        const MASK: u64 = (1 << 20) - 1; // executor's data footprint
+        for (i, &want) in expected.iter().take(16).enumerate() {
+            let d = ex.next().expect("store");
+            prop_assert_eq!(
+                d.mem_addr,
+                Some((want as u64) & MASK),
+                "register r{} value mismatch", i
+            );
+        }
+    }
+}

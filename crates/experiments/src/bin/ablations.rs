@@ -1,0 +1,19 @@
+//! Runs the design-choice ablations (start-point stack depth,
+//! constructor count, prefetch-cache capacity, decision depth).
+//!
+//! Usage: `cargo run -p tpc-experiments --release --bin ablations --
+//! [--warmup N] [--measure N] [--seed N] [--quick]`
+
+use tpc_experiments::{ablations, RunParams};
+use tpc_workloads::Benchmark;
+
+fn main() {
+    let params = RunParams::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let rows = ablations::run(Benchmark::Gcc, params);
+    print!("{}", ablations::render(Benchmark::Gcc, &rows));
+    let rows = ablations::dynamic_split(Benchmark::Gcc, params);
+    print!("{}", ablations::render_dynamic_split(Benchmark::Gcc, &rows));
+}

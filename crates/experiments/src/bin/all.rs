@@ -1,0 +1,50 @@
+//! Runs every experiment in sequence, printing the full EXPERIMENTS
+//! report (Figure 5, Tables 1-3, Figure 6, Figure 8, ablations).
+//!
+//! Usage: `cargo run -p tpc-experiments --release --bin all --
+//! [--warmup N] [--measure N] [--seed N] [--quick]`
+
+use tpc_experiments::{ablations, bias_sweep, cpi_stack, fig5, fig6, fig8, predictors, tables, workload_stats, RunParams};
+use tpc_workloads::Benchmark;
+
+fn main() {
+    let params = RunParams::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    println!("# Trace Preconstruction — measured results\n");
+    println!("run parameters: {params:?}\n");
+
+    println!("## Workload characterization");
+    let rows = workload_stats::run(&Benchmark::ALL, params.measure, params.seed);
+    print!("{}", workload_stats::render(&rows, params.measure));
+
+    println!("\n## Figure 5 — trace-cache miss rates");
+    let rows = fig5::run(&Benchmark::ALL, params);
+    print!("{}", fig5::render(&rows));
+
+    println!("\n## Tables 1-3 — I-cache behaviour (gcc, go)");
+    let rows = tables::run(&[Benchmark::Gcc, Benchmark::Go], params);
+    print!("{}", tables::render(&rows));
+
+    println!("\n## Figure 6 — speedup from preconstruction");
+    let rows = fig6::run(&Benchmark::large_working_set(), params);
+    print!("{}", fig6::render(&rows));
+
+    println!("\n## Figure 8 — extended pipeline model");
+    let rows = fig8::run(&Benchmark::large_working_set(), params);
+    print!("{}", fig8::render(&rows));
+
+    let rows = ablations::run(Benchmark::Gcc, params);
+    print!("{}", ablations::render(Benchmark::Gcc, &rows));
+    let rows = ablations::dynamic_split(Benchmark::Gcc, params);
+    print!("{}", ablations::render_dynamic_split(Benchmark::Gcc, &rows));
+
+    println!("\n## Supporting characterization");
+    let rows = predictors::run(&Benchmark::ALL, params);
+    print!("{}", predictors::render(&rows));
+    let rows = bias_sweep::run(params);
+    print!("{}", bias_sweep::render(&rows));
+    let rows = cpi_stack::run(&Benchmark::large_working_set(), params);
+    print!("{}", cpi_stack::render(&rows));
+}

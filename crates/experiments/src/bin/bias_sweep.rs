@@ -1,0 +1,16 @@
+//! Bias-sensitivity study: preconstruction benefit vs the fraction
+//! of strongly-biased branches (the go ↔ vortex axis).
+//!
+//! Usage: `cargo run -p tpc-experiments --release --bin bias_sweep --
+//! [--warmup N] [--measure N] [--seed N] [--quick]`
+
+use tpc_experiments::{bias_sweep, RunParams};
+
+fn main() {
+    let params = RunParams::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let rows = bias_sweep::run(params);
+    print!("{}", bias_sweep::render(&rows));
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 5: trace-cache miss rates for all SPECint95
+//! benchmarks across trace-cache / preconstruction-buffer sizes.
+//!
+//! Usage: `cargo run -p tpc-experiments --release --bin fig5 --
+//! [--warmup N] [--measure N] [--seed N] [--quick]`
+
+use tpc_experiments::{fig5, RunParams};
+use tpc_workloads::Benchmark;
+
+fn main() {
+    let params = RunParams::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    eprintln!("fig5: sweeping {} configs x 8 benchmarks ({params:?})", fig5::configs().len());
+    let rows = fig5::run(&Benchmark::ALL, params);
+    print!("{}", fig5::render(&rows));
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 6: speedup from preconstruction (equal-area)
+//! for gcc, go, perl and vortex.
+//!
+//! Usage: `cargo run -p tpc-experiments --release --bin fig6 --
+//! [--warmup N] [--measure N] [--seed N] [--quick]`
+
+use tpc_experiments::{fig6, RunParams};
+use tpc_workloads::Benchmark;
+
+fn main() {
+    let params = RunParams::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let rows = fig6::run(&Benchmark::large_working_set(), params);
+    print!("{}", fig6::render(&rows));
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 8: the extended pipeline model
+//! (preconstruction x preprocessing) for gcc, go, perl and vortex.
+//!
+//! Usage: `cargo run -p tpc-experiments --release --bin fig8 --
+//! [--warmup N] [--measure N] [--seed N] [--quick]`
+
+use tpc_experiments::{fig8, RunParams};
+use tpc_workloads::Benchmark;
+
+fn main() {
+    let params = RunParams::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let rows = fig8::run(&Benchmark::large_working_set(), params);
+    print!("{}", fig8::render(&rows));
+}

@@ -1,0 +1,17 @@
+//! Regenerates Tables 1-3: I-cache behaviour with and without
+//! preconstruction, for gcc and go.
+//!
+//! Usage: `cargo run -p tpc-experiments --release --bin tables --
+//! [--warmup N] [--measure N] [--seed N] [--quick]`
+
+use tpc_experiments::{tables, RunParams};
+use tpc_workloads::Benchmark;
+
+fn main() {
+    let params = RunParams::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let rows = tables::run(&[Benchmark::Gcc, Benchmark::Go], params);
+    print!("{}", tables::render(&rows));
+}

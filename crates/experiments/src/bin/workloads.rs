@@ -1,0 +1,17 @@
+//! Characterizes the synthetic workloads: static footprint, touched
+//! footprint, trace working set, branch statistics.
+//!
+//! Usage: `cargo run -p tpc-experiments --release --bin workloads --
+//! [--measure N] [--seed N]`
+
+use tpc_experiments::{workload_stats, RunParams};
+use tpc_workloads::Benchmark;
+
+fn main() {
+    let params = RunParams::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let rows = workload_stats::run(&Benchmark::ALL, params.measure, params.seed);
+    print!("{}", workload_stats::render(&rows, params.measure));
+}

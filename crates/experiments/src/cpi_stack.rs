@@ -1,0 +1,114 @@
+//! Frontend cycle stacks: where the cycles go, per benchmark and
+//! configuration — the causal explanation behind Figures 6 and 8.
+//!
+//! Preconstruction converts slow-build cycles into dispatch cycles;
+//! preprocessing shrinks the backend's share of the critical path so
+//! retirement keeps up with a faster frontend. The stacks make both
+//! visible directly instead of inferring them from IPC deltas.
+
+use crate::report::markdown_table;
+use crate::runner::RunParams;
+use tpc_processor::{FrontendBreakdown, SimConfig, Simulator};
+use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+/// One configuration's cycle stack.
+#[derive(Debug, Clone)]
+pub struct StackRow {
+    /// Benchmark measured.
+    pub benchmark: Benchmark,
+    /// Configuration label.
+    pub config: &'static str,
+    /// The frontend activity breakdown.
+    pub breakdown: FrontendBreakdown,
+    /// IPC for context.
+    pub ipc: f64,
+}
+
+/// The configurations compared (matching Figure 8's bars).
+fn configs() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("baseline 256", SimConfig::baseline(256)),
+        ("precon 128+128", SimConfig::with_precon(128, 128)),
+        ("combined", SimConfig::with_precon(128, 128).with_preprocess()),
+    ]
+}
+
+/// Measures cycle stacks for the given benchmarks.
+pub fn run(benchmarks: &[Benchmark], params: RunParams) -> Vec<StackRow> {
+    let mut rows = Vec::new();
+    for &benchmark in benchmarks {
+        let program = WorkloadBuilder::new(benchmark).seed(params.seed).build();
+        for (label, config) in configs() {
+            let mut sim = Simulator::new(&program, config);
+            let s = sim.run_with_warmup(params.warmup, params.measure);
+            rows.push(StackRow {
+                benchmark,
+                config: label,
+                breakdown: s.frontend,
+                ipc: s.ipc(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the stacks (one row per benchmark × configuration).
+pub fn render(rows: &[StackRow]) -> String {
+    let mut out = String::from(
+        "\n### Frontend cycle stacks (fraction of all cycles, ‰)\n\n",
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let (dispatched, slow, mispredict, backpressure) = r.breakdown.permille();
+            vec![
+                r.benchmark.to_string(),
+                r.config.to_string(),
+                dispatched.to_string(),
+                slow.to_string(),
+                mispredict.to_string(),
+                backpressure.to_string(),
+                format!("{:.2}", r.ipc),
+            ]
+        })
+        .collect();
+    out.push_str(&markdown_table(
+        &["benchmark", "config", "dispatch", "slow build", "mispredict", "PE full", "IPC"],
+        &table,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacks_cover_all_configs() {
+        let rows = run(&[Benchmark::Compress], RunParams::quick());
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.breakdown.total() > 0, "{}: breakdown populated", r.config);
+        }
+    }
+
+    #[test]
+    fn precon_shrinks_slow_build_share() {
+        let rows = run(
+            &[Benchmark::Gcc],
+            RunParams { warmup: 80_000, measure: 150_000, seed: 1 },
+        );
+        let slow_share = |label: &str| {
+            rows.iter()
+                .find(|r| r.config == label)
+                .map(|r| r.breakdown.permille().1)
+                .expect("config present")
+        };
+        assert!(
+            slow_share("precon 128+128") < slow_share("baseline 256"),
+            "preconstruction moves cycles out of slow builds: {} vs {}",
+            slow_share("precon 128+128"),
+            slow_share("baseline 256")
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Figure 6: overall performance improvement from preconstruction,
+//! for the benchmarks whose working sets stress the trace cache.
+//!
+//! The comparison is equal-area: a trace cache of `S` entries versus
+//! a trace cache of `S/2` entries plus a preconstruction buffer of
+//! `S/2` entries, at several total sizes. The paper reports 3–10 %
+//! for gcc, go, perl and vortex.
+
+use crate::report::{f2, markdown_table, pct};
+use crate::runner::{simulate_many, RunParams};
+use tpc_processor::SimConfig;
+use tpc_workloads::Benchmark;
+
+/// One equal-area comparison point.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Benchmark measured.
+    pub benchmark: Benchmark,
+    /// Combined capacity (trace cache entries in the baseline).
+    pub total_entries: u32,
+    /// Baseline IPC (trace cache of `total_entries`).
+    pub baseline_ipc: f64,
+    /// Preconstruction IPC (half trace cache + half buffer).
+    pub precon_ipc: f64,
+}
+
+impl Fig6Row {
+    /// Speedup of the preconstruction configuration.
+    pub fn speedup(&self) -> f64 {
+        self.precon_ipc / self.baseline_ipc
+    }
+}
+
+/// Combined sizes evaluated.
+pub const TOTAL_SIZES: [u32; 3] = [256, 512, 1024];
+
+/// Runs the Figure 6 comparison.
+pub fn run(benchmarks: &[Benchmark], params: RunParams) -> Vec<Fig6Row> {
+    let mut configs = Vec::new();
+    for &total in &TOTAL_SIZES {
+        configs.push(SimConfig::baseline(total));
+        configs.push(SimConfig::with_precon(total / 2, total / 2));
+    }
+    let mut rows = Vec::new();
+    for &benchmark in benchmarks {
+        let stats = simulate_many(benchmark, &configs, params);
+        for (i, &total) in TOTAL_SIZES.iter().enumerate() {
+            rows.push(Fig6Row {
+                benchmark,
+                total_entries: total,
+                baseline_ipc: stats[2 * i].ipc(),
+                precon_ipc: stats[2 * i + 1].ipc(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the comparison as a markdown table.
+pub fn render(rows: &[Fig6Row]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.to_string(),
+                r.total_entries.to_string(),
+                f2(r.baseline_ipc),
+                f2(r.precon_ipc),
+                pct(r.speedup()),
+            ]
+        })
+        .collect();
+    let mut out = String::from(
+        "\n### Figure 6 — speedup from preconstruction (equal-area: TC/2 + PB/2 vs TC)\n\n",
+    );
+    out.push_str(&markdown_table(
+        &["benchmark", "total entries", "baseline IPC", "precon IPC", "speedup"],
+        &table,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_rows_per_size() {
+        let rows = run(&[Benchmark::Compress], RunParams::quick());
+        assert_eq!(rows.len(), TOTAL_SIZES.len());
+        for r in &rows {
+            assert!(r.baseline_ipc > 0.0);
+            assert!(r.precon_ipc > 0.0);
+        }
+    }
+
+    #[test]
+    fn render_lists_speedups() {
+        let rows = run(&[Benchmark::Compress], RunParams::quick());
+        let text = render(&rows);
+        assert!(text.contains("Figure 6"));
+        assert!(text.contains("%"));
+    }
+}

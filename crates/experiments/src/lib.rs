@@ -1,0 +1,32 @@
+//! # tpc-experiments — reproducing the paper's evaluation
+//!
+//! One module per table/figure of *Trace Preconstruction* (Jacobson &
+//! Smith, ISCA 2000), each with a `run` function returning structured
+//! rows and a binary (`cargo run -p tpc-experiments --bin <name>
+//! --release`) that prints them as a markdown table:
+//!
+//! | paper artifact | module | binary |
+//! |---|---|---|
+//! | Figure 5 (trace-cache miss rates)        | [`fig5`]      | `fig5` |
+//! | Tables 1–3 (I-cache behaviour)           | [`tables`]    | `tables` |
+//! | Figure 6 (speedup from preconstruction)  | [`fig6`]      | `fig6` |
+//! | Figure 8 (extended pipeline model)       | [`fig8`]      | `fig8` |
+//! | design-choice ablations (not in paper)   | [`ablations`] | `ablations` |
+//!
+//! Absolute numbers differ from the paper (synthetic workloads, see
+//! `DESIGN.md` §2); the *shape* — who wins, directions, rough factors
+//! — is the reproduction target, recorded in `EXPERIMENTS.md`.
+
+pub mod ablations;
+pub mod bias_sweep;
+pub mod cpi_stack;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod predictors;
+pub mod report;
+pub mod runner;
+pub mod tables;
+pub mod workload_stats;
+
+pub use runner::{simulate, RunParams};

@@ -1,0 +1,92 @@
+//! Predictor accuracy characterization (supporting data, in the
+//! spirit of the next-trace-predictor paper the frontend builds on).
+
+use crate::report::{f1, markdown_table};
+use crate::runner::RunParams;
+use tpc_processor::{SimConfig, Simulator};
+use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+/// Accuracy numbers for one benchmark.
+#[derive(Debug, Clone)]
+pub struct PredictorRow {
+    /// Benchmark measured.
+    pub benchmark: Benchmark,
+    /// Next-trace predictor accuracy over trace fetches, percent.
+    pub ntp_accuracy: f64,
+    /// Dynamic conditional-branch misprediction stalls charged on the
+    /// slow path, per 1000 instructions.
+    pub slow_path_repairs_per_kilo: f64,
+    /// Fraction of frontend cycles lost to trace-level misprediction
+    /// stalls, percent.
+    pub mispredict_cycles_percent: f64,
+}
+
+/// Measures predictor behaviour under the default preconstruction
+/// configuration.
+pub fn run(benchmarks: &[Benchmark], params: RunParams) -> Vec<PredictorRow> {
+    benchmarks
+        .iter()
+        .map(|&benchmark| {
+            let program = WorkloadBuilder::new(benchmark).seed(params.seed).build();
+            let mut sim = Simulator::new(&program, SimConfig::with_precon(256, 256));
+            let s = sim.run_with_warmup(params.warmup, params.measure);
+            let (_, _, mispredict, _) = s.frontend.permille();
+            PredictorRow {
+                benchmark,
+                ntp_accuracy: 100.0
+                    * (1.0 - s.ntp_mispredicts as f64 / s.trace_fetches.max(1) as f64),
+                slow_path_repairs_per_kilo: s.slow_path_predict_stalls as f64 * 1000.0
+                    / s.retired_instructions.max(1) as f64,
+                mispredict_cycles_percent: mispredict as f64 / 10.0,
+            }
+        })
+        .collect()
+}
+
+/// Renders the accuracy table.
+pub fn render(rows: &[PredictorRow]) -> String {
+    let mut out = String::from("\n### Predictor characterization (256 TC + 256 PB)\n\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.to_string(),
+                format!("{:.1}%", r.ntp_accuracy),
+                f1(r.slow_path_repairs_per_kilo),
+                format!("{:.1}%", r.mispredict_cycles_percent),
+            ]
+        })
+        .collect();
+    out.push_str(&markdown_table(
+        &["benchmark", "NTP accuracy", "slow-path repairs/1k", "mispredict cycles"],
+        &table,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_bounded_and_ordered() {
+        let rows = run(
+            &[Benchmark::Compress, Benchmark::Go],
+            RunParams::quick(),
+        );
+        for r in &rows {
+            assert!(r.ntp_accuracy >= 0.0 && r.ntp_accuracy <= 100.0);
+        }
+        // Loop-dominated compress is far more trace-predictable than
+        // branchy go.
+        assert!(rows[0].ntp_accuracy > rows[1].ntp_accuracy);
+    }
+
+    #[test]
+    fn render_has_rows() {
+        let rows = run(&[Benchmark::Compress], RunParams::quick());
+        let text = render(&rows);
+        assert!(text.contains("compress"));
+        assert!(text.contains("NTP accuracy"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Markdown table rendering for experiment binaries.
+
+use std::fmt::Write as _;
+
+/// Renders a markdown table with aligned columns.
+///
+/// ```
+/// let t = tpc_experiments::report::markdown_table(
+///     &["bench", "misses"],
+///     &[vec!["gcc".into(), "15.0".into()]],
+/// );
+/// assert!(t.contains("| gcc"));
+/// ```
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        debug_assert_eq!(row.len(), cols, "row arity matches headers");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        out.push('|');
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(out, " {:w$} |", c, w = widths[i]);
+        }
+        out.push('\n');
+    };
+    write_row(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    out.push('|');
+    for w in &widths {
+        let _ = write!(out, "{:-<w$}|", "", w = w + 2);
+    }
+    out.push('\n');
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Formats a float with one decimal place.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a float with two decimal places.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a speedup ratio as a percentage improvement ("+7.3%").
+pub fn pct(speedup: f64) -> String {
+    format!("{:+.1}%", (speedup - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape() {
+        let t = markdown_table(
+            &["a", "bench"],
+            &[
+                vec!["1".into(), "gcc".into()],
+                vec!["22".into(), "go".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[2].contains("gcc"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f1(12.3456), "12.3");
+        assert_eq!(f2(12.3456), "12.35");
+        assert_eq!(pct(1.073), "+7.3%");
+        assert_eq!(pct(0.95), "-5.0%");
+    }
+}

@@ -1,0 +1,172 @@
+//! Dynamic workload characterization: the link between the synthetic
+//! profiles and the trace-cache behaviour they induce.
+//!
+//! The key quantity is the **trace working set** — unique trace
+//! identities observed in an instruction window. The paper's whole
+//! premise is that this exceeds the static code working set (each
+//! static instruction appears in several dynamic traces); measuring
+//! it per benchmark grounds the Figure 5 calibration.
+
+use crate::report::{f1, markdown_table};
+use std::collections::HashSet;
+use tpc_isa::OpClass;
+use tpc_processor::TraceStream;
+use tpc_workloads::stats::static_stats;
+use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+/// Characterization of one benchmark.
+#[derive(Debug, Clone)]
+pub struct WorkloadRow {
+    /// Benchmark measured.
+    pub benchmark: Benchmark,
+    /// Static instructions.
+    pub static_instructions: u32,
+    /// Unique instruction addresses touched in the window.
+    pub touched_instructions: u32,
+    /// Unique trace identities in the window (the trace working set).
+    pub unique_traces: u32,
+    /// Average dynamic trace length.
+    pub avg_trace_len: f64,
+    /// Dynamic conditional branches per 1000 instructions.
+    pub branches_per_kilo: f64,
+    /// Dynamic taken rate of conditional branches, in 1/1000ths.
+    pub taken_permille: u32,
+    /// Dynamic calls per 1000 instructions.
+    pub calls_per_kilo: f64,
+}
+
+impl WorkloadRow {
+    /// Trace working set expansion: unique traces × 16-instr entries
+    /// relative to the touched static footprint — the >1 factor that
+    /// motivates preconstruction.
+    pub fn expansion_factor(&self) -> f64 {
+        if self.touched_instructions == 0 {
+            return 0.0;
+        }
+        (self.unique_traces as f64 * self.avg_trace_len) / self.touched_instructions as f64
+    }
+}
+
+/// Characterizes each benchmark over `window` dynamic instructions.
+pub fn run(benchmarks: &[Benchmark], window: u64, seed: u64) -> Vec<WorkloadRow> {
+    benchmarks
+        .iter()
+        .map(|&benchmark| {
+            let program = WorkloadBuilder::new(benchmark).seed(seed).build();
+            let sstats = static_stats(&program);
+            let mut stream = TraceStream::new(&program);
+            let mut touched = HashSet::new();
+            let mut traces = HashSet::new();
+            let mut trace_count = 0u64;
+            let mut branches = 0u64;
+            let mut taken = 0u64;
+            let mut calls = 0u64;
+            while stream.retired() < window {
+                let dt = stream.next_trace();
+                traces.insert(dt.trace.key());
+                trace_count += 1;
+                for ti in dt.trace.instrs() {
+                    touched.insert(ti.pc);
+                    if ti.op.class() == OpClass::Call { calls += 1 }
+                }
+                branches += dt.branch_outcomes.len() as u64;
+                taken += dt.branch_outcomes.iter().filter(|&&t| t).count() as u64;
+            }
+            let retired = stream.retired();
+            WorkloadRow {
+                benchmark,
+                static_instructions: sstats.instructions,
+                touched_instructions: touched.len() as u32,
+                unique_traces: traces.len() as u32,
+                avg_trace_len: retired as f64 / trace_count.max(1) as f64,
+                branches_per_kilo: branches as f64 * 1000.0 / retired.max(1) as f64,
+                taken_permille: (taken * 1000 / branches.max(1)) as u32,
+                calls_per_kilo: calls as f64 * 1000.0 / retired.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the characterization table.
+pub fn render(rows: &[WorkloadRow], window: u64) -> String {
+    let mut out = format!(
+        "\n### Workload characterization ({window} dynamic instructions)\n\n"
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.to_string(),
+                r.static_instructions.to_string(),
+                r.touched_instructions.to_string(),
+                r.unique_traces.to_string(),
+                f1(r.avg_trace_len),
+                format!("{:.1}x", r.expansion_factor()),
+                f1(r.branches_per_kilo),
+                format!("{}", r.taken_permille),
+                f1(r.calls_per_kilo),
+            ]
+        })
+        .collect();
+    out.push_str(&markdown_table(
+        &[
+            "benchmark",
+            "static",
+            "touched",
+            "traces",
+            "len",
+            "expansion",
+            "br/1k",
+            "taken‰",
+            "call/1k",
+        ],
+        &table,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterizes_small_benchmark() {
+        let rows = run(&[Benchmark::Compress], 20_000, 1);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.unique_traces > 0);
+        assert!(r.avg_trace_len > 1.0 && r.avg_trace_len <= 16.0);
+        assert!(r.touched_instructions <= r.static_instructions);
+    }
+
+    #[test]
+    fn trace_working_set_exceeds_code_working_set() {
+        // The paper's premise: trace entries needed exceed the static
+        // footprint, for the branchy benchmarks.
+        let rows = run(&[Benchmark::Go], 100_000, 1);
+        assert!(
+            rows[0].expansion_factor() > 1.0,
+            "go expansion {:.2}",
+            rows[0].expansion_factor()
+        );
+    }
+
+    #[test]
+    fn go_expands_more_than_vortex() {
+        let rows = run(&[Benchmark::Go, Benchmark::Vortex], 100_000, 1);
+        assert!(
+            rows[0].expansion_factor() > rows[1].expansion_factor(),
+            "weak biases expand the trace working set: go {:.2} vs vortex {:.2}",
+            rows[0].expansion_factor(),
+            rows[1].expansion_factor()
+        );
+    }
+
+    #[test]
+    fn render_has_all_columns() {
+        let rows = run(&[Benchmark::Compress], 10_000, 1);
+        let text = render(&rows, 10_000);
+        assert!(text.contains("expansion"));
+        assert!(text.contains("compress"));
+    }
+}

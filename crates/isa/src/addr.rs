@@ -1,0 +1,138 @@
+//! Word-granular instruction addresses.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A word-granular instruction address.
+///
+/// One instruction occupies one address step; the *byte* address used
+/// by the instruction cache is `addr.byte()` (4 bytes per
+/// instruction, as on MIPS/PISA).
+///
+/// ```
+/// use tpc_isa::Addr;
+/// let a = Addr::new(10);
+/// assert_eq!((a + 2).word(), 12);
+/// assert_eq!(a.byte(), 40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u32);
+
+impl Addr {
+    /// The address of the first instruction in a program.
+    pub const ZERO: Addr = Addr(0);
+
+    /// Creates an address from a word index.
+    #[inline]
+    pub const fn new(word: u32) -> Self {
+        Addr(word)
+    }
+
+    /// The word index of this address.
+    #[inline]
+    pub const fn word(self) -> u32 {
+        self.0
+    }
+
+    /// The byte address (4 bytes per instruction word).
+    #[inline]
+    pub const fn byte(self) -> u64 {
+        (self.0 as u64) * 4
+    }
+
+    /// The address of the next sequential instruction.
+    #[inline]
+    pub const fn next(self) -> Addr {
+        Addr(self.0 + 1)
+    }
+
+    /// Word distance `self - other`; `None` when `other > self`.
+    #[inline]
+    pub fn distance_from(self, other: Addr) -> Option<u32> {
+        self.0.checked_sub(other.0)
+    }
+}
+
+impl From<u32> for Addr {
+    fn from(word: u32) -> Self {
+        Addr(word)
+    }
+}
+
+impl From<Addr> for u32 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl Add<u32> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u32) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u32> for Addr {
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = i64;
+    /// Signed word distance between two addresses.
+    fn sub(self, rhs: Addr) -> i64 {
+        self.0 as i64 - rhs.0 as i64
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:06x}", self.byte())
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_and_byte_views_agree() {
+        let a = Addr::new(7);
+        assert_eq!(a.word(), 7);
+        assert_eq!(a.byte(), 28);
+    }
+
+    #[test]
+    fn next_advances_one_word() {
+        assert_eq!(Addr::new(3).next(), Addr::new(4));
+    }
+
+    #[test]
+    fn signed_distance() {
+        assert_eq!(Addr::new(10) - Addr::new(4), 6);
+        assert_eq!(Addr::new(4) - Addr::new(10), -6);
+    }
+
+    #[test]
+    fn distance_from_is_checked() {
+        assert_eq!(Addr::new(10).distance_from(Addr::new(4)), Some(6));
+        assert_eq!(Addr::new(4).distance_from(Addr::new(10)), None);
+    }
+
+    #[test]
+    fn ordering_follows_word_index() {
+        assert!(Addr::new(1) < Addr::new(2));
+    }
+
+    #[test]
+    fn display_is_byte_hex() {
+        assert_eq!(Addr::new(4).to_string(), "0x000010");
+    }
+}

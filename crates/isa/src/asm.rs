@@ -1,0 +1,602 @@
+//! A small assembler for the simulator's instruction set.
+//!
+//! Lets programs — including their control-flow behaviour models —
+//! be written as readable text instead of builder calls:
+//!
+//! ```text
+//! main:
+//!     li   r1, 5
+//! loop:
+//!     addi r1, r1, -1
+//!     bne  r1, r0, loop    @loop(5)
+//!     halt
+//! ```
+//!
+//! Syntax:
+//!
+//! * one instruction per line; `;` starts a comment; labels end in
+//!   `:` and may share a line with an instruction;
+//! * conditional branches (`beq/bne/blt/bge rs1, rs2, label`) carry a
+//!   model annotation: `@loop(N)`, `@bias(NUM/DENOM)`, `@taken`,
+//!   `@nottaken`, or `@pattern(0b...)`;
+//! * indirect jumps (`jr rs`) carry `@targets(label[:weight], ...)`;
+//! * loads/stores use `ld rd, offset(base)` / `st rs, offset(base)`;
+//! * execution starts at the `main` label when present, else at
+//!   address 0.
+//!
+//! ```
+//! use tpc_isa::asm::assemble;
+//!
+//! let program = assemble(
+//!     "main: li r1, 3\n\
+//!      top:  addi r1, r1, -1\n\
+//!            bne r1, r0, top @loop(3)\n\
+//!            halt",
+//! ).expect("valid assembly");
+//! assert_eq!(program.len(), 4);
+//! ```
+
+use crate::model::{IndirectModel, OutcomeModel};
+use crate::{Addr, BranchCond, Op, Program, ProgramBuilder, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error from assembling a program, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// A parsed-but-unresolved instruction (targets still by name).
+#[derive(Debug, Clone)]
+enum Pending {
+    Ready(Op),
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: String,
+        model: OutcomeModel,
+    },
+    Jump {
+        target: String,
+    },
+    Call {
+        target: String,
+    },
+    Indirect {
+        rs1: Reg,
+        targets: Vec<(String, u32)>,
+        seed: u64,
+    },
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let tok = tok.trim();
+    let Some(idx) = tok.strip_prefix('r') else {
+        return err(line, format!("expected register, found {tok:?}"));
+    };
+    match idx.parse::<u8>() {
+        Ok(i) if i < 32 => Ok(Reg::new(i)),
+        _ => err(line, format!("invalid register {tok:?}")),
+    }
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i32, AsmError> {
+    let tok = tok.trim();
+    let parsed = if let Some(hex) = tok.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(hex) = tok.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).map(|v| -v)
+    } else {
+        tok.parse::<i64>()
+    };
+    match parsed {
+        Ok(v) if i32::try_from(v).is_ok() => Ok(v as i32),
+        _ => err(line, format!("invalid immediate {tok:?}")),
+    }
+}
+
+/// Splits `"8(r1)"` into (offset, base).
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i32, Reg), AsmError> {
+    let tok = tok.trim();
+    let Some(open) = tok.find('(') else {
+        return err(line, format!("expected offset(base), found {tok:?}"));
+    };
+    if !tok.ends_with(')') {
+        return err(line, format!("unclosed memory operand {tok:?}"));
+    }
+    let offset = parse_imm(&tok[..open], line)?;
+    let base = parse_reg(&tok[open + 1..tok.len() - 1], line)?;
+    Ok((offset, base))
+}
+
+fn parse_branch_model(annot: &str, line: usize) -> Result<OutcomeModel, AsmError> {
+    let annot = annot.trim();
+    if annot == "@taken" {
+        return Ok(OutcomeModel::AlwaysTaken);
+    }
+    if annot == "@nottaken" {
+        return Ok(OutcomeModel::NeverTaken);
+    }
+    if let Some(rest) = annot.strip_prefix("@loop(") {
+        let Some(n) = rest.strip_suffix(')') else {
+            return err(line, "unclosed @loop(");
+        };
+        return match n.trim().parse::<u32>() {
+            Ok(trip) if trip >= 1 => Ok(OutcomeModel::Loop { trip }),
+            _ => err(line, format!("invalid trip count {n:?}")),
+        };
+    }
+    if let Some(rest) = annot.strip_prefix("@bias(") {
+        let Some(frac) = rest.strip_suffix(')') else {
+            return err(line, "unclosed @bias(");
+        };
+        let parts: Vec<&str> = frac.split('/').collect();
+        if parts.len() != 2 {
+            return err(line, "expected @bias(NUM/DENOM)");
+        }
+        let num: u32 = parts[0]
+            .trim()
+            .parse()
+            .map_err(|_| AsmError { line, message: format!("bad numerator {:?}", parts[0]) })?;
+        let denom: u32 = parts[1]
+            .trim()
+            .parse()
+            .map_err(|_| AsmError { line, message: format!("bad denominator {:?}", parts[1]) })?;
+        if denom == 0 || num > denom {
+            return err(line, "bias must satisfy 0 <= NUM <= DENOM, DENOM > 0");
+        }
+        // Seed derives from the source line so distinct branches get
+        // distinct, reproducible streams.
+        return Ok(OutcomeModel::Biased { num, denom, seed: line as u64 });
+    }
+    if let Some(rest) = annot.strip_prefix("@pattern(") {
+        let Some(bits) = rest.strip_suffix(')') else {
+            return err(line, "unclosed @pattern(");
+        };
+        let bits = bits.trim();
+        let Some(binary) = bits.strip_prefix("0b") else {
+            return err(line, "expected @pattern(0b...)");
+        };
+        let len = binary.len() as u8;
+        if len == 0 || len > 32 {
+            return err(line, "pattern must be 1..=32 bits");
+        }
+        return match u32::from_str_radix(binary, 2) {
+            Ok(v) => Ok(OutcomeModel::Pattern { bits: v, len }),
+            Err(_) => err(line, format!("bad pattern {bits:?}")),
+        };
+    }
+    err(line, format!("unknown branch annotation {annot:?}"))
+}
+
+fn parse_targets(annot: &str, line: usize) -> Result<Vec<(String, u32)>, AsmError> {
+    let annot = annot.trim();
+    let Some(rest) = annot.strip_prefix("@targets(") else {
+        return err(line, format!("indirect jump needs @targets(...), found {annot:?}"));
+    };
+    let Some(list) = rest.strip_suffix(')') else {
+        return err(line, "unclosed @targets(");
+    };
+    let mut out = Vec::new();
+    for item in list.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        match item.split_once(':') {
+            Some((name, w)) => {
+                let weight: u32 = w
+                    .trim()
+                    .parse()
+                    .map_err(|_| AsmError { line, message: format!("bad weight {w:?}") })?;
+                out.push((name.trim().to_string(), weight));
+            }
+            None => out.push((item.to_string(), 1)),
+        }
+    }
+    if out.is_empty() {
+        return err(line, "@targets(...) needs at least one label");
+    }
+    Ok(out)
+}
+
+/// Assembles source text into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with the offending line for syntax errors,
+/// unknown mnemonics/labels, missing branch annotations, or when the
+/// assembled program fails [`Program`] validation.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut labels: HashMap<String, Addr> = HashMap::new();
+    let mut pendings: Vec<(usize, Pending)> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(p) = text.find(';') {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        // Labels (possibly several) before the instruction.
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break; // not a label, e.g. nothing before ':'
+            }
+            let at = Addr::new(pendings.len() as u32);
+            if labels.insert(label.to_string(), at).is_some() {
+                return err(line, format!("duplicate label {label:?}"));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        // Split off an @annotation, if any.
+        let (body, annot) = match text.find('@') {
+            Some(p) => (text[..p].trim(), Some(text[p..].trim())),
+            None => (text, None),
+        };
+        let mut parts = body.split_whitespace();
+        let mnemonic = parts.next().expect("non-empty body");
+        let operands: Vec<String> = parts
+            .collect::<Vec<_>>()
+            .join(" ")
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+
+        let nth = |i: usize| -> Result<&str, AsmError> {
+            operands.get(i).map(|s| s.as_str()).ok_or(AsmError {
+                line,
+                message: format!("{mnemonic}: missing operand {}", i + 1),
+            })
+        };
+
+        let three_regs = |line: usize| -> Result<(Reg, Reg, Reg), AsmError> {
+            Ok((
+                parse_reg(nth(0)?, line)?,
+                parse_reg(nth(1)?, line)?,
+                parse_reg(nth(2)?, line)?,
+            ))
+        };
+
+        let pending = match mnemonic {
+            "add" => { let (rd, rs1, rs2) = three_regs(line)?; Pending::Ready(Op::Add { rd, rs1, rs2 }) }
+            "sub" => { let (rd, rs1, rs2) = three_regs(line)?; Pending::Ready(Op::Sub { rd, rs1, rs2 }) }
+            "and" => { let (rd, rs1, rs2) = three_regs(line)?; Pending::Ready(Op::And { rd, rs1, rs2 }) }
+            "or" => { let (rd, rs1, rs2) = three_regs(line)?; Pending::Ready(Op::Or { rd, rs1, rs2 }) }
+            "xor" => { let (rd, rs1, rs2) = three_regs(line)?; Pending::Ready(Op::Xor { rd, rs1, rs2 }) }
+            "mul" => { let (rd, rs1, rs2) = three_regs(line)?; Pending::Ready(Op::Mul { rd, rs1, rs2 }) }
+            "div" => { let (rd, rs1, rs2) = three_regs(line)?; Pending::Ready(Op::Div { rd, rs1, rs2 }) }
+            "shl" | "shr" => {
+                let rd = parse_reg(nth(0)?, line)?;
+                let rs1 = parse_reg(nth(1)?, line)?;
+                let shamt = parse_imm(nth(2)?, line)?;
+                if !(0..64).contains(&shamt) {
+                    return err(line, format!("shift amount {shamt} out of range"));
+                }
+                let shamt = shamt as u8;
+                Pending::Ready(if mnemonic == "shl" {
+                    Op::Shl { rd, rs1, shamt }
+                } else {
+                    Op::Shr { rd, rs1, shamt }
+                })
+            }
+            "addi" => Pending::Ready(Op::AddImm {
+                rd: parse_reg(nth(0)?, line)?,
+                rs1: parse_reg(nth(1)?, line)?,
+                imm: parse_imm(nth(2)?, line)?,
+            }),
+            "li" => Pending::Ready(Op::LoadImm {
+                rd: parse_reg(nth(0)?, line)?,
+                imm: parse_imm(nth(1)?, line)?,
+            }),
+            "ld" => {
+                let rd = parse_reg(nth(0)?, line)?;
+                let (offset, base) = parse_mem_operand(nth(1)?, line)?;
+                Pending::Ready(Op::Load { rd, base, offset })
+            }
+            "st" => {
+                let src = parse_reg(nth(0)?, line)?;
+                let (offset, base) = parse_mem_operand(nth(1)?, line)?;
+                Pending::Ready(Op::Store { src, base, offset })
+            }
+            "beq" | "bne" | "blt" | "bge" => {
+                let cond = match mnemonic {
+                    "beq" => BranchCond::Eq,
+                    "bne" => BranchCond::Ne,
+                    "blt" => BranchCond::Lt,
+                    _ => BranchCond::Ge,
+                };
+                let Some(annot) = annot else {
+                    return err(line, "conditional branch needs a model annotation (@loop/@bias/@taken/@nottaken/@pattern)");
+                };
+                Pending::Branch {
+                    cond,
+                    rs1: parse_reg(nth(0)?, line)?,
+                    rs2: parse_reg(nth(1)?, line)?,
+                    target: nth(2)?.to_string(),
+                    model: parse_branch_model(annot, line)?,
+                }
+            }
+            "jmp" => Pending::Jump { target: nth(0)?.to_string() },
+            "jal" | "call" => Pending::Call { target: nth(0)?.to_string() },
+            "ret" => Pending::Ready(Op::Return),
+            "jr" => {
+                let Some(annot) = annot else {
+                    return err(line, "indirect jump needs @targets(...)");
+                };
+                Pending::Indirect {
+                    rs1: parse_reg(nth(0)?, line)?,
+                    targets: parse_targets(annot, line)?,
+                    seed: line as u64,
+                }
+            }
+            "halt" => Pending::Ready(Op::Halt),
+            "nop" => Pending::Ready(Op::Nop),
+            other => return err(line, format!("unknown mnemonic {other:?}")),
+        };
+        pendings.push((line, pending));
+    }
+
+    // Resolve labels and emit.
+    let resolve = |name: &str, line: usize| -> Result<Addr, AsmError> {
+        labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| AsmError { line, message: format!("unknown label {name:?}") })
+    };
+    let mut b = ProgramBuilder::new();
+    for (line, pending) in pendings {
+        match pending {
+            Pending::Ready(op) => {
+                b.push(op);
+            }
+            Pending::Branch { cond, rs1, rs2, target, model } => {
+                let target = resolve(&target, line)?;
+                b.push_branch(Op::Branch { cond, rs1, rs2, target }, model);
+            }
+            Pending::Jump { target } => {
+                let target = resolve(&target, line)?;
+                b.push(Op::Jump { target });
+            }
+            Pending::Call { target } => {
+                let target = resolve(&target, line)?;
+                b.push(Op::Call { target });
+            }
+            Pending::Indirect { rs1, targets, seed } => {
+                let mut addrs = Vec::with_capacity(targets.len());
+                let mut weights = Vec::with_capacity(targets.len());
+                for (name, w) in targets {
+                    addrs.push(resolve(&name, line)?);
+                    weights.push(w);
+                }
+                b.push_indirect(
+                    Op::IndirectJump { rs1 },
+                    IndirectModel::weighted(addrs, weights, seed),
+                );
+            }
+        }
+    }
+    if let Some(&entry) = labels.get("main") {
+        b.set_entry(entry);
+    }
+    for (name, &addr) in &labels {
+        b.record_function(name.clone(), addr);
+    }
+    b.build().map_err(|e| AsmError {
+        line: 0,
+        message: format!("program validation failed: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpClass;
+
+    #[test]
+    fn assembles_counted_loop() {
+        let p = assemble(
+            "main: li r1, 5\n\
+             top:  addi r1, r1, -1\n\
+                   bne r1, r0, top @loop(5)\n\
+                   halt",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.entry(), Addr::ZERO);
+        assert_eq!(
+            p.branch_model(Addr::new(2)),
+            Some(&OutcomeModel::Loop { trip: 5 })
+        );
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let p = assemble(
+            "main: jmp end\n\
+             mid:  nop\n\
+             end:  beq r1, r2, mid @nottaken\n\
+                   halt",
+        )
+        .unwrap();
+        assert_eq!(p.fetch(Addr::new(0)), Some(&Op::Jump { target: Addr::new(2) }));
+        match p.fetch(Addr::new(2)) {
+            Some(Op::Branch { target, .. }) => assert_eq!(*target, Addr::new(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn entry_defaults_to_zero_without_main() {
+        let p = assemble("nop\nhalt").unwrap();
+        assert_eq!(p.entry(), Addr::ZERO);
+    }
+
+    #[test]
+    fn main_label_sets_entry() {
+        let p = assemble(
+            "f:    nop\n\
+                   ret\n\
+             main: jal f\n\
+                   halt",
+        )
+        .unwrap();
+        assert_eq!(p.entry(), Addr::new(2));
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble(
+            "main: ld r2, 8(r1)\n\
+                   st r2, -16(r3)\n\
+                   halt",
+        )
+        .unwrap();
+        assert_eq!(
+            p.fetch(Addr::new(0)),
+            Some(&Op::Load { rd: Reg::new(2), base: Reg::new(1), offset: 8 })
+        );
+        assert_eq!(
+            p.fetch(Addr::new(1)),
+            Some(&Op::Store { src: Reg::new(2), base: Reg::new(3), offset: -16 })
+        );
+    }
+
+    #[test]
+    fn bias_pattern_and_fixed_annotations() {
+        let p = assemble(
+            "main: beq r1, r2, a @bias(3/10)\n\
+             a:    bne r1, r2, b @pattern(0b101)\n\
+             b:    blt r1, r2, c @taken\n\
+             c:    bge r1, r2, main @nottaken\n\
+                   halt",
+        )
+        .unwrap();
+        assert!(matches!(
+            p.branch_model(Addr::new(0)),
+            Some(OutcomeModel::Biased { num: 3, denom: 10, .. })
+        ));
+        assert!(matches!(
+            p.branch_model(Addr::new(1)),
+            Some(OutcomeModel::Pattern { bits: 0b101, len: 3 })
+        ));
+        assert_eq!(p.branch_model(Addr::new(2)), Some(&OutcomeModel::AlwaysTaken));
+        assert_eq!(p.branch_model(Addr::new(3)), Some(&OutcomeModel::NeverTaken));
+    }
+
+    #[test]
+    fn indirect_jump_targets() {
+        let p = assemble(
+            "main: jr r4 @targets(a:3, b)\n\
+             a:    halt\n\
+             b:    halt",
+        )
+        .unwrap();
+        let model = p.indirect_model(Addr::new(0)).unwrap();
+        assert_eq!(model.targets(), &[Addr::new(1), Addr::new(2)]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble(
+            "; a program\n\
+             \n\
+             main: nop ; does nothing\n\
+                   halt",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = assemble("nop\nbogus r1\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn branch_without_model_rejected() {
+        let e = assemble("main: beq r1, r2, main\nhalt").unwrap_err();
+        assert!(e.message.contains("model annotation"));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let e = assemble("main: jmp nowhere\nhalt").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a: nop\na: halt").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn falls_off_end_rejected_by_validation() {
+        let e = assemble("main: nop").unwrap_err();
+        assert!(e.message.contains("validation"));
+    }
+
+    #[test]
+    fn assembled_program_executes() {
+        // End-to-end: classify the dynamic stream of an assembled
+        // if-diamond driven by a pattern branch.
+        let p = assemble(
+            "main: beq r1, r2, odd @pattern(0b10)\n\
+                   addi r3, r3, 1\n\
+                   jmp join\n\
+             odd:  addi r4, r4, 1\n\
+             join: halt",
+        )
+        .unwrap();
+        // We only validate structure here; execution lives in
+        // tpc-exec, which depends on this crate.
+        assert_eq!(p.fetch(Addr::new(0)).unwrap().class(), OpClass::Branch);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn register_bounds_checked() {
+        let e = assemble("main: li r32, 1\nhalt").unwrap_err();
+        assert!(e.message.contains("r32"));
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = assemble("main: li r1, 0x40\naddi r2, r1, -0x10\nhalt").unwrap();
+        assert_eq!(p.fetch(Addr::new(0)), Some(&Op::LoadImm { rd: Reg::new(1), imm: 64 }));
+        assert_eq!(
+            p.fetch(Addr::new(1)),
+            Some(&Op::AddImm { rd: Reg::new(2), rs1: Reg::new(1), imm: -16 })
+        );
+    }
+}

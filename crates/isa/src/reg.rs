@@ -1,0 +1,89 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// An architectural register, `r0`–`r31`.
+///
+/// `r0` always reads as zero (writes are discarded); `r31` is the
+/// link register written by `call`.
+///
+/// ```
+/// use tpc_isa::Reg;
+/// assert_eq!(Reg::new(5).index(), 5);
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register, `r0`.
+    pub const ZERO: Reg = Reg(0);
+    /// The link register written by `call`, `r31`.
+    pub const LINK: Reg = Reg(31);
+    /// Stack-pointer convention register, `r29`.
+    pub const SP: Reg = Reg(29);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "register index out of range");
+        Reg(index)
+    }
+
+    /// The register's index in the register file.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..32 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::LINK.is_zero());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::new(17).to_string(), "r17");
+    }
+}

@@ -1,0 +1,36 @@
+//! # tpc-mem — memory-hierarchy models
+//!
+//! Cache structures used by the trace-processor simulator, matching
+//! the configuration of the paper's Section 4:
+//!
+//! * [`SetAssocCache`] — generic set-associative LRU tag array, the
+//!   building block for the caches below (and for the trace cache in
+//!   `tpc-core`).
+//! * [`InstrCache`] — 64 KB, 4-way, 64 B-line instruction cache with a
+//!   1-cycle hit and a perfect 10-cycle L2 behind it. Tracks demand
+//!   vs. preconstruction accesses separately (paper Tables 1–3).
+//! * [`DataCache`] — 64 KB, 4-way, 64 B-line write-back data cache
+//!   with a 2-cycle hit.
+//! * [`PrefetchCache`] — the small fully-associative instruction
+//!   buffers that feed the preconstruction trace constructors
+//!   (Section 3.3.1): they fill up and are never replaced; a full
+//!   cache terminates its region.
+
+pub mod cache;
+pub mod dcache;
+pub mod icache;
+pub mod prefetch;
+
+pub use cache::{CacheGeometry, SetAssocCache};
+pub use dcache::{DataCache, DataCacheStats};
+pub use icache::{AccessKind, FetchResult, IcacheStats, InstrCache, InstrCacheConfig};
+pub use prefetch::PrefetchCache;
+
+/// Instructions per cache line: 64-byte lines, 4-byte instructions.
+pub const INSTRS_PER_LINE: u32 = 16;
+
+/// Maps a word-granular instruction address to its I-cache line index.
+#[inline]
+pub fn line_of(addr: tpc_isa::Addr) -> u64 {
+    (addr.word() / INSTRS_PER_LINE) as u64
+}

@@ -1,0 +1,119 @@
+//! Property test: `SetAssocCache` agrees with an executable
+//! reference model (per-set LRU lists) on arbitrary operation
+//! sequences.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use tpc_mem::{CacheGeometry, SetAssocCache};
+
+/// Straightforward reference: one MRU-ordered list per set.
+struct RefCache {
+    sets: Vec<VecDeque<u64>>,
+    ways: usize,
+}
+
+impl RefCache {
+    fn new(sets: u32, ways: u32) -> Self {
+        RefCache {
+            sets: (0..sets).map(|_| VecDeque::new()).collect(),
+            ways: ways as usize,
+        }
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        (key % self.sets.len() as u64) as usize
+    }
+
+    fn access(&mut self, key: u64) -> bool {
+        let set = self.set_of(key);
+        let list = &mut self.sets[set];
+        if let Some(pos) = list.iter().position(|&k| k == key) {
+            let k = list.remove(pos).expect("found above");
+            list.push_front(k);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn probe(&self, key: u64) -> bool {
+        self.sets[self.set_of(key)].contains(&key)
+    }
+
+    fn fill(&mut self, key: u64) -> Option<u64> {
+        let ways = self.ways;
+        let set = self.set_of(key);
+        let list = &mut self.sets[set];
+        if let Some(pos) = list.iter().position(|&k| k == key) {
+            let k = list.remove(pos).expect("found above");
+            list.push_front(k);
+            return None;
+        }
+        list.push_front(key);
+        if list.len() > ways {
+            list.pop_back()
+        } else {
+            None
+        }
+    }
+
+    fn invalidate(&mut self, key: u64) -> bool {
+        let set = self.set_of(key);
+        let list = &mut self.sets[set];
+        match list.iter().position(|&k| k == key) {
+            Some(pos) => {
+                list.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Access(u64),
+    Probe(u64),
+    Fill(u64),
+    Invalidate(u64),
+}
+
+fn cmds() -> impl Strategy<Value = Vec<Cmd>> {
+    prop::collection::vec(
+        (0u64..64, 0u8..4).prop_map(|(k, op)| match op {
+            0 => Cmd::Access(k),
+            1 => Cmd::Probe(k),
+            2 => Cmd::Fill(k),
+            _ => Cmd::Invalidate(k),
+        }),
+        0..300,
+    )
+}
+
+proptest! {
+    #[test]
+    fn set_assoc_matches_reference(ops in cmds(), sets_pow in 0u32..4, ways in 1u32..5) {
+        let sets = 1 << sets_pow;
+        let mut dut = SetAssocCache::new(CacheGeometry::new(sets, ways));
+        let mut reference = RefCache::new(sets, ways);
+        for (i, cmd) in ops.iter().enumerate() {
+            match *cmd {
+                Cmd::Access(k) => {
+                    prop_assert_eq!(dut.access(k), reference.access(k), "access #{} key {}", i, k);
+                }
+                Cmd::Probe(k) => {
+                    prop_assert_eq!(dut.probe(k), reference.probe(k), "probe #{} key {}", i, k);
+                }
+                Cmd::Fill(k) => {
+                    prop_assert_eq!(dut.fill(k), reference.fill(k), "fill #{} key {}", i, k);
+                }
+                Cmd::Invalidate(k) => {
+                    prop_assert_eq!(dut.invalidate(k), reference.invalidate(k), "inv #{} key {}", i, k);
+                }
+            }
+        }
+        // Final occupancy agrees too.
+        let ref_occ: usize = reference.sets.iter().map(|l| l.len()).sum();
+        prop_assert_eq!(dut.occupancy(), ref_occ);
+    }
+}

@@ -1,0 +1,99 @@
+//! Return address stack.
+
+use tpc_isa::Addr;
+
+/// A bounded return-address stack used by the slow-path fetch unit to
+/// predict `ret` targets.
+///
+/// On overflow the oldest entry is dropped (the stack wraps), as in
+/// real hardware; on underflow prediction simply fails.
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    entries: Vec<Addr>,
+    capacity: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a stack holding up to `capacity` return addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS capacity must be positive");
+        ReturnAddressStack {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Pushes the return address of a call; drops the oldest entry
+    /// when full.
+    pub fn push(&mut self, return_addr: Addr) {
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(return_addr);
+    }
+
+    /// Pops the predicted target for a return; `None` when empty.
+    pub fn pop(&mut self) -> Option<Addr> {
+        self.entries.pop()
+    }
+
+    /// The address a return would be predicted to, without popping.
+    pub fn top(&self) -> Option<Addr> {
+        self.entries.last().copied()
+    }
+
+    /// Number of live entries.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Empties the stack (e.g. on a pipeline flush in simpler models).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(Addr::new(10));
+        ras.push(Addr::new(20));
+        assert_eq!(ras.pop(), Some(Addr::new(20)));
+        assert_eq!(ras.pop(), Some(Addr::new(10)));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(Addr::new(1));
+        ras.push(Addr::new(2));
+        ras.push(Addr::new(3));
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(Addr::new(3)));
+        assert_eq!(ras.pop(), Some(Addr::new(2)));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn top_peeks_without_popping() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(Addr::new(7));
+        assert_eq!(ras.top(), Some(Addr::new(7)));
+        assert_eq!(ras.depth(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

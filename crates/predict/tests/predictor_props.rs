@@ -1,0 +1,86 @@
+//! Property tests for the predictors.
+
+use proptest::prelude::*;
+use tpc_isa::Addr;
+use tpc_predict::{Bias, Bimodal, NextTracePredictor, NtpConfig, ReturnAddressStack, TraceEnd, TraceKey};
+
+/// Reference 2-bit saturating counter.
+fn ref_update(c: u8, taken: bool) -> u8 {
+    if taken {
+        (c + 1).min(3)
+    } else {
+        c.saturating_sub(1)
+    }
+}
+
+proptest! {
+    /// The bimodal predictor behaves exactly like an array of 2-bit
+    /// saturating counters under arbitrary update sequences.
+    #[test]
+    fn bimodal_matches_reference(ops in prop::collection::vec((0u32..32, any::<bool>()), 0..300)) {
+        let entries = 16usize;
+        let mut dut = Bimodal::new(entries);
+        let mut reference = vec![1u8; entries];
+        for (pc, taken) in ops {
+            let idx = pc as usize % entries;
+            let addr = Addr::new(pc);
+            prop_assert_eq!(dut.predict(addr), reference[idx] >= 2);
+            prop_assert_eq!(dut.counter(addr), reference[idx]);
+            let expected_bias = match reference[idx] {
+                0 => Bias::StronglyNotTaken,
+                3 => Bias::StronglyTaken,
+                _ => Bias::Weak,
+            };
+            prop_assert_eq!(dut.bias(addr), expected_bias);
+            dut.update(addr, taken);
+            reference[idx] = ref_update(reference[idx], taken);
+        }
+    }
+
+    /// The RAS behaves as a bounded stack that drops its oldest entry
+    /// on overflow.
+    #[test]
+    fn ras_matches_reference(ops in prop::collection::vec((any::<bool>(), 0u32..1000), 0..200), cap in 1usize..16) {
+        let mut dut = ReturnAddressStack::new(cap);
+        let mut reference: Vec<u32> = Vec::new();
+        for (is_push, v) in ops {
+            if is_push {
+                dut.push(Addr::new(v));
+                if reference.len() == cap {
+                    reference.remove(0);
+                }
+                reference.push(v);
+            } else {
+                prop_assert_eq!(dut.pop().map(|a| a.word()), reference.pop());
+            }
+            prop_assert_eq!(dut.depth(), reference.len());
+            prop_assert_eq!(dut.top().map(|a| a.word()), reference.last().copied());
+        }
+    }
+
+    /// A deterministic, repeating trace sequence is eventually fully
+    /// predicted regardless of its content (as long as each trace has
+    /// a unique successor along the cycle).
+    #[test]
+    fn ntp_learns_any_cycle(starts in prop::collection::hash_set(0u32..10_000, 2..10)) {
+        let keys: Vec<TraceKey> = starts
+            .into_iter()
+            .map(|s| TraceKey { start: Addr::new(s * 16), branch_count: 0, outcomes: 0 })
+            .collect();
+        let mut p = NextTracePredictor::new(NtpConfig::default());
+        // Warm up around the cycle a few times.
+        for _ in 0..6 {
+            for &k in &keys {
+                p.observe(k, TraceEnd::Fallthrough);
+            }
+        }
+        let mut correct = 0;
+        for &k in &keys {
+            if p.predict() == Some(k) {
+                correct += 1;
+            }
+            p.observe(k, TraceEnd::Fallthrough);
+        }
+        prop_assert_eq!(correct, keys.len(), "a fixed cycle must be fully learned");
+    }
+}

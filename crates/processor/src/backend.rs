@@ -1,0 +1,519 @@
+//! The distributed execution backend: four processing elements, two-
+//! wide issue each, global result buses (paper Section 4.1).
+//!
+//! Each dispatched trace occupies one processing element until it
+//! retires. Timing is computed dataflow-style at dispatch: every
+//! instruction is assigned its execution cycle subject to
+//!
+//! * operand readiness — intra-PE bypass lets a dependent operation
+//!   execute the cycle after its producer finishes; values crossing
+//!   processing elements pay one extra cycle on a global result bus
+//!   (producer executes in N ⇒ cross-PE consumer executes in N+2);
+//! * issue bandwidth — at most `issue_per_pe` instructions begin
+//!   execution per PE per cycle;
+//! * memory ports — at most 4 data-cache accesses per cycle overall
+//!   and 2 per PE (the paper's four-ported L1D);
+//! * data-cache latency — 2-cycle hits, +10-cycle perfect L2.
+
+use crate::stream::DynTrace;
+use tpc_core::preprocess::{latency::op_latency, trace_deps};
+use tpc_isa::OpClass;
+use tpc_mem::DataCache;
+
+/// Backend configuration (defaults are the paper's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendConfig {
+    /// Number of processing elements.
+    pub pe_count: usize,
+    /// Issue width per processing element.
+    pub issue_per_pe: u8,
+    /// Extra cycles for a value to cross processing elements.
+    pub bus_delay: u64,
+    /// Global data-cache ports per cycle.
+    pub mem_ports_global: u8,
+    /// Data-cache ports one PE may use per cycle.
+    pub mem_ports_per_pe: u8,
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        BackendConfig {
+            pe_count: 4,
+            issue_per_pe: 2,
+            bus_delay: 1,
+            mem_ports_global: 4,
+            mem_ports_per_pe: 2,
+        }
+    }
+}
+
+/// The computed timing of one dispatched trace.
+#[derive(Debug, Clone)]
+pub struct TraceTiming {
+    /// Processing element the trace ran on.
+    pub pe: usize,
+    /// Cycle the last instruction finished executing.
+    pub complete: u64,
+    /// Execution-finish cycle of each conditional branch, in trace
+    /// order.
+    pub branch_resolves: Vec<u64>,
+    /// The latest branch resolution (equals `complete` for branchless
+    /// traces — the point at which "this trace's path is confirmed").
+    pub last_resolve: u64,
+    /// Cycle each instruction began executing (trace order) — kept
+    /// for timing validation and pipeline visualization.
+    pub exec_start: Vec<u64>,
+    /// Cycle each instruction finished executing (trace order).
+    pub exec_done: Vec<u64>,
+}
+
+/// Ring-buffer counter of per-cycle resource usage.
+#[derive(Debug, Clone)]
+struct CycleCounter {
+    ring: Vec<(u64, u8)>,
+    mask: usize,
+}
+
+impl CycleCounter {
+    fn new(capacity_pow2: usize) -> Self {
+        debug_assert!(capacity_pow2.is_power_of_two());
+        CycleCounter {
+            ring: vec![(u64::MAX, 0); capacity_pow2],
+            mask: capacity_pow2 - 1,
+        }
+    }
+
+    fn count(&self, cycle: u64) -> u8 {
+        let slot = self.ring[cycle as usize & self.mask];
+        if slot.0 == cycle {
+            slot.1
+        } else {
+            0
+        }
+    }
+
+    fn inc(&mut self, cycle: u64) {
+        let slot = &mut self.ring[cycle as usize & self.mask];
+        if slot.0 == cycle {
+            slot.1 += 1;
+        } else {
+            *slot = (cycle, 1);
+        }
+    }
+}
+
+/// The backend scheduler state.
+#[derive(Debug)]
+pub struct Backend {
+    config: BackendConfig,
+    /// Per register: (cycle a same-PE consumer may execute, producer
+    /// PE). Cross-PE consumers add `bus_delay`.
+    reg_ready: [(u64, usize); tpc_isa::NUM_REGS],
+    issue_slots: Vec<CycleCounter>,
+    mem_global: CycleCounter,
+    mem_per_pe: Vec<CycleCounter>,
+    dcache: DataCache,
+    /// Cycle each PE becomes free (its trace retired).
+    pe_free_at: Vec<u64>,
+    next_pe: usize,
+}
+
+impl Backend {
+    /// Creates a backend.
+    pub fn new(config: BackendConfig) -> Self {
+        Backend {
+            reg_ready: [(0, 0); tpc_isa::NUM_REGS],
+            issue_slots: (0..config.pe_count).map(|_| CycleCounter::new(8192)).collect(),
+            mem_global: CycleCounter::new(8192),
+            mem_per_pe: (0..config.pe_count).map(|_| CycleCounter::new(8192)).collect(),
+            dcache: DataCache::new(),
+            pe_free_at: vec![0; config.pe_count],
+            next_pe: 0,
+            config,
+        }
+    }
+
+    /// The backend's configuration.
+    pub fn config(&self) -> &BackendConfig {
+        &self.config
+    }
+
+    /// Data-cache statistics.
+    pub fn dcache_stats(&self) -> &tpc_mem::DataCacheStats {
+        self.dcache.stats()
+    }
+
+    /// Whether a processing element is free at `cycle` to accept a
+    /// dispatch.
+    pub fn pe_available(&self, cycle: u64) -> bool {
+        self.pe_free_at.iter().any(|&f| f <= cycle)
+    }
+
+    /// Marks the PE of a retired trace free from `cycle` on.
+    pub fn release_pe(&mut self, pe: usize, cycle: u64) {
+        self.pe_free_at[pe] = cycle;
+    }
+
+    fn claim_pe(&mut self, cycle: u64) -> usize {
+        // Round-robin over free PEs, matching the sequencer's trace
+        // distribution.
+        for k in 0..self.config.pe_count {
+            let pe = (self.next_pe + k) % self.config.pe_count;
+            if self.pe_free_at[pe] <= cycle {
+                self.next_pe = (pe + 1) % self.config.pe_count;
+                self.pe_free_at[pe] = u64::MAX; // busy until released
+                return pe;
+            }
+        }
+        panic!("dispatch without a free processing element");
+    }
+
+    /// Schedules a trace dispatched at `dispatch_cycle` onto a free
+    /// PE and returns its timing. The caller must have checked
+    /// [`Backend::pe_available`].
+    ///
+    /// `use_preprocess` selects whether the trace's preprocessing
+    /// annotations (if present) drive dependences and issue order.
+    pub fn dispatch(
+        &mut self,
+        dt: &DynTrace,
+        dispatch_cycle: u64,
+        use_preprocess: bool,
+    ) -> TraceTiming {
+        let pe = self.claim_pe(dispatch_cycle);
+        let n = dt.trace.len();
+        let instrs = dt.trace.instrs();
+        let info = if use_preprocess { dt.trace.preprocess_info() } else { None };
+
+        let raw_deps;
+        let deps: &[Vec<u8>] = match info {
+            Some(i) => &i.deps,
+            None => {
+                raw_deps = trace_deps(&dt.trace);
+                &raw_deps
+            }
+        };
+        let order: Vec<u8> = match info {
+            Some(i) => i.schedule.clone(),
+            None => (0..n as u8).collect(),
+        };
+        let folded = |i: usize| info.map(|inf| inf.const_folded[i]).unwrap_or(false);
+
+        // done[i]: last execution cycle of instruction i.
+        let mut done = vec![0u64; n];
+        let mut started = vec![0u64; n];
+        let mut last_writer: [Option<usize>; tpc_isa::NUM_REGS] = [None; tpc_isa::NUM_REGS];
+        // Pre-compute each instruction's intra-trace writer map in
+        // program order (identifies which sources are external).
+        let mut external_srcs: Vec<Vec<tpc_isa::Reg>> = Vec::with_capacity(n);
+        for (i, ti) in instrs.iter().enumerate() {
+            let ext = ti
+                .op
+                .sources()
+                .iter()
+                .filter(|s| last_writer[s.index()].is_none())
+                .collect();
+            external_srcs.push(ext);
+            if let Some(rd) = ti.op.dest() {
+                last_writer[rd.index()] = Some(i);
+            }
+        }
+
+        let earliest = dispatch_cycle + 1;
+        for &oi in &order {
+            let i = oi as usize;
+            let op = &instrs[i].op;
+            let mut ready = earliest;
+            if !folded(i) {
+                for &j in &deps[i] {
+                    // Producer in the same trace ⇒ same PE ⇒ bypass:
+                    // consumer may execute the cycle after it is done.
+                    ready = ready.max(done[j as usize] + 1);
+                }
+                for src in &external_srcs[i] {
+                    let (avail, producer_pe) = self.reg_ready[src.index()];
+                    let penalty = if producer_pe == pe { 0 } else { self.config.bus_delay };
+                    ready = ready.max(avail + penalty);
+                }
+            }
+
+            let is_mem = matches!(op.class(), OpClass::Load | OpClass::Store);
+            // Find the first cycle with a free issue slot (and memory
+            // port, when needed).
+            let mut c = ready;
+            loop {
+                let slots_ok = self.issue_slots[pe].count(c) < self.config.issue_per_pe;
+                let ports_ok = !is_mem
+                    || (self.mem_global.count(c) < self.config.mem_ports_global
+                        && self.mem_per_pe[pe].count(c) < self.config.mem_ports_per_pe);
+                if slots_ok && ports_ok {
+                    break;
+                }
+                c += 1;
+            }
+            self.issue_slots[pe].inc(c);
+            if is_mem {
+                self.mem_global.inc(c);
+                self.mem_per_pe[pe].inc(c);
+            }
+
+            let lat = match op.class() {
+                OpClass::Load => {
+                    let addr = dt.mem_addrs[i].expect("loads carry addresses");
+                    op_latency(OpClass::Load) as u64 + self.dcache.load(addr) as u64
+                }
+                OpClass::Store => {
+                    // Stores complete into the write buffer; latency
+                    // is hidden from the dependence graph.
+                    let addr = dt.mem_addrs[i].expect("stores carry addresses");
+                    let _ = self.dcache.store(addr);
+                    op_latency(OpClass::Store) as u64
+                }
+                class => op_latency(class) as u64,
+            };
+            started[i] = c;
+            done[i] = c + lat - 1;
+        }
+
+        // Publish register results for later traces.
+        let mut final_writer: [Option<usize>; tpc_isa::NUM_REGS] = [None; tpc_isa::NUM_REGS];
+        for (i, ti) in instrs.iter().enumerate() {
+            if let Some(rd) = ti.op.dest() {
+                final_writer[rd.index()] = Some(i);
+            }
+        }
+        for (r, w) in final_writer.iter().enumerate() {
+            if let Some(i) = w {
+                self.reg_ready[r] = (done[*i] + 1, pe);
+            }
+        }
+
+        let branch_resolves: Vec<u64> = instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, ti)| ti.op.class() == OpClass::Branch)
+            .map(|(i, _)| done[i])
+            .collect();
+        let complete = done.iter().copied().max().unwrap_or(dispatch_cycle);
+        let last_resolve = branch_resolves.iter().copied().max().unwrap_or(complete);
+        TraceTiming {
+            pe,
+            complete,
+            branch_resolves,
+            last_resolve,
+            exec_start: started,
+            exec_done: done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_core::{preprocess, PushResult, Resolution, TraceBuilder};
+    use tpc_isa::{Addr, Op, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn dyn_trace(ops: &[Op]) -> DynTrace {
+        let mut b = TraceBuilder::new(Addr::new(0));
+        let mut trace = None;
+        for (i, &op) in ops.iter().enumerate() {
+            match b.push(Addr::new(i as u32), op, Resolution::None) {
+                PushResult::Continue(_) => {}
+                PushResult::Complete(t) => {
+                    trace = Some(t);
+                    break;
+                }
+            }
+        }
+        let trace = trace.unwrap_or_else(|| {
+            match b.push(Addr::new(ops.len() as u32), Op::Return, Resolution::None) {
+                PushResult::Complete(t) => t,
+                other => panic!("{other:?}"),
+            }
+        });
+        let mem_addrs = trace
+            .instrs()
+            .iter()
+            .map(|ti| {
+                matches!(ti.op.class(), OpClass::Load | OpClass::Store).then_some(0x100)
+            })
+            .collect();
+        DynTrace {
+            trace,
+            mem_addrs,
+            branch_outcomes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn independent_ops_dual_issue() {
+        let mut be = Backend::new(BackendConfig::default());
+        // 4 independent ALU ops → 2 cycles of issue; complete at
+        // dispatch+2.
+        let dt = dyn_trace(&[
+            Op::AddImm { rd: r(1), rs1: r(10), imm: 1 },
+            Op::AddImm { rd: r(2), rs1: r(11), imm: 1 },
+            Op::AddImm { rd: r(3), rs1: r(12), imm: 1 },
+            Op::AddImm { rd: r(4), rs1: r(13), imm: 1 },
+        ]);
+        let t = be.dispatch(&dt, 0, false);
+        // 4 ALU ops dual-issue over cycles 1–2; the terminating ret
+        // (appended by the helper) takes cycle 3.
+        assert_eq!(t.complete, 3);
+    }
+
+    #[test]
+    fn dependent_chain_serializes() {
+        let mut be = Backend::new(BackendConfig::default());
+        let dt = dyn_trace(&[
+            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },
+            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },
+            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },
+            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },
+        ]);
+        let t = be.dispatch(&dt, 0, false);
+        // Back-to-back chain: cycles 1,2,3,4.
+        assert_eq!(t.complete, 4);
+    }
+
+    #[test]
+    fn cross_pe_dependence_pays_bus_delay() {
+        let mut be = Backend::new(BackendConfig::default());
+        // Trace A writes r5 on PE 0.
+        let a = dyn_trace(&[Op::AddImm { rd: r(5), rs1: r(9), imm: 1 }]);
+        let ta = be.dispatch(&a, 0, false);
+        assert_eq!(ta.pe, 0);
+        // Trace B (PE 1) reads r5: executes at done(A) + 1 + bus.
+        let b = dyn_trace(&[Op::AddImm { rd: r(6), rs1: r(5), imm: 1 }]);
+        let tb = be.dispatch(&b, 0, false);
+        assert_eq!(tb.pe, 1);
+        assert_eq!(tb.complete, ta.complete + 2);
+    }
+
+    #[test]
+    fn same_pe_readback_after_release() {
+        let mut be = Backend::new(BackendConfig::default());
+        let a = dyn_trace(&[Op::AddImm { rd: r(5), rs1: r(9), imm: 1 }]);
+        let ta = be.dispatch(&a, 0, false);
+        be.release_pe(ta.pe, ta.complete + 1);
+        // Fill the other PEs so the next dispatch reuses PE 0.
+        for _ in 0..3 {
+            let f = dyn_trace(&[Op::Nop]);
+            be.dispatch(&f, 0, false);
+        }
+        let b = dyn_trace(&[Op::AddImm { rd: r(6), rs1: r(5), imm: 1 }]);
+        let tb = be.dispatch(&b, ta.complete + 1, false);
+        assert_eq!(tb.pe, ta.pe, "round-robin returns to the freed PE");
+        // Same PE: no bus delay; bounded by dispatch+1.
+        assert_eq!(tb.complete, ta.complete + 2);
+    }
+
+    #[test]
+    fn load_latency_includes_dcache() {
+        let mut be = Backend::new(BackendConfig::default());
+        let dt = dyn_trace(&[Op::Load { rd: r(1), base: r(2), offset: 0 }]);
+        let t = be.dispatch(&dt, 0, false);
+        // Cold load: 1 (AGU) + 2 (hit) + 10 (L2 miss) = 13 cycles
+        // starting at cycle 1 → done at 13.
+        assert_eq!(t.complete, 13);
+        // Warm load on the same line: 1 + 2 = 3 cycles.
+        let dt2 = dyn_trace(&[Op::Load { rd: r(3), base: r(2), offset: 0 }]);
+        let t2 = be.dispatch(&dt2, 0, false);
+        assert_eq!(t2.complete, 3);
+    }
+
+    #[test]
+    fn mem_ports_limit_parallel_loads() {
+        let mut be = Backend::new(BackendConfig::default());
+        // Warm the line first.
+        let warm = dyn_trace(&[Op::Load { rd: r(9), base: r(2), offset: 0 }]);
+        be.dispatch(&warm, 0, false);
+        be.release_pe(0, 0);
+        // 3 independent loads on one PE: 2 ports/PE → issue over 2 cycles.
+        let dt = dyn_trace(&[
+            Op::Load { rd: r(1), base: r(2), offset: 0 },
+            Op::Load { rd: r(3), base: r(2), offset: 0 },
+            Op::Load { rd: r(4), base: r(2), offset: 0 },
+        ]);
+        let t = be.dispatch(&dt, 100, false);
+        // First two issue at 101, third at 102 → done 102+2 = 104.
+        assert_eq!(t.complete, 104);
+    }
+
+    #[test]
+    fn branch_resolve_times_reported() {
+        let mut be = Backend::new(BackendConfig::default());
+        let mut b = TraceBuilder::new(Addr::new(0));
+        b.push(Addr::new(0), Op::AddImm { rd: r(1), rs1: r(1), imm: 1 }, Resolution::None);
+        let trace = match b.push(
+            Addr::new(1),
+            Op::Branch {
+                cond: tpc_isa::BranchCond::Ne,
+                rs1: r(1),
+                rs2: r(2),
+                target: Addr::new(40),
+            },
+            Resolution::Branch { taken: false, next_pc: Addr::new(2) },
+        ) {
+            PushResult::Continue(_) => match b.push(Addr::new(2), Op::Return, Resolution::None) {
+                PushResult::Complete(t) => t,
+                other => panic!("{other:?}"),
+            },
+            PushResult::Complete(t) => t,
+        };
+        let n = trace.len();
+        let dt = DynTrace {
+            trace,
+            mem_addrs: vec![None; n],
+            branch_outcomes: vec![false],
+        };
+        let t = be.dispatch(&dt, 0, false);
+        assert_eq!(t.branch_resolves.len(), 1);
+        // Branch depends on the addi: resolves at cycle 2.
+        assert_eq!(t.branch_resolves[0], 2);
+        assert_eq!(t.last_resolve, 2);
+    }
+
+    #[test]
+    fn preprocessing_shortens_folded_chains() {
+        // li; addi(dep); addi(dep); addi(dep) — all foldable.
+        let ops = [
+            Op::LoadImm { rd: r(1), imm: 5 },
+            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },
+            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },
+            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },
+        ];
+        let mut plain = dyn_trace(&ops);
+        let info = preprocess::preprocess(&plain.trace);
+        plain.trace.set_preprocess(info);
+
+        let mut be1 = Backend::new(BackendConfig::default());
+        let without = be1.dispatch(&plain, 0, false).complete;
+        let mut be2 = Backend::new(BackendConfig::default());
+        let with = be2.dispatch(&plain, 0, true).complete;
+        assert!(
+            with < without,
+            "preprocessed {with} must beat unprocessed {without}"
+        );
+    }
+
+    #[test]
+    fn pe_exhaustion_detected() {
+        let be = Backend::new(BackendConfig::default());
+        assert!(be.pe_available(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "free processing element")]
+    fn dispatch_without_free_pe_panics() {
+        let mut be = Backend::new(BackendConfig::default());
+        for _ in 0..5 {
+            let dt = dyn_trace(&[Op::Nop]);
+            be.dispatch(&dt, 0, false);
+        }
+    }
+}

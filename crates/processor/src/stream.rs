@@ -1,0 +1,171 @@
+//! The correct-path dynamic trace stream.
+
+use tpc_core::{PushResult, Resolution, Trace, TraceBuilder};
+use tpc_exec::Executor;
+use tpc_isa::{OpClass, Program};
+
+/// One dynamic trace instance: the trace (as the caches would store
+/// it) plus per-instruction dynamic metadata the timing model needs.
+#[derive(Debug, Clone)]
+pub struct DynTrace {
+    /// The trace.
+    pub trace: Trace,
+    /// Effective byte address of each load/store (`None` otherwise),
+    /// parallel to `trace.instrs()`.
+    pub mem_addrs: Vec<Option<u64>>,
+    /// Resolved direction of each *conditional branch*, in trace
+    /// order (parallel to the trace key's outcome bits).
+    pub branch_outcomes: Vec<bool>,
+}
+
+impl DynTrace {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether the trace instance is empty (never for built traces).
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+}
+
+/// Chunks the architectural executor's instruction stream into
+/// traces using the shared selection rules, yielding exactly the
+/// sequence of traces the processor fetches on the correct path.
+#[derive(Debug)]
+pub struct TraceStream<'a> {
+    ex: Executor<'a>,
+}
+
+impl<'a> TraceStream<'a> {
+    /// Creates a stream over `program` from its entry point.
+    pub fn new(program: &'a Program) -> Self {
+        TraceStream {
+            ex: Executor::new(program),
+        }
+    }
+
+    /// Instructions retired by the underlying executor.
+    pub fn retired(&self) -> u64 {
+        self.ex.retired()
+    }
+
+    /// Produces the next trace on the correct path.
+    pub fn next_trace(&mut self) -> DynTrace {
+        let start = self.ex.pc();
+        let mut b = TraceBuilder::new(start);
+        let mut mem_addrs = Vec::new();
+        let mut branch_outcomes = Vec::new();
+        loop {
+            let d = self.ex.next().expect("executor streams are endless");
+            mem_addrs.push(d.mem_addr);
+            let resolution = match d.op.class() {
+                OpClass::Branch => {
+                    branch_outcomes.push(d.taken);
+                    Resolution::Branch {
+                        taken: d.taken,
+                        next_pc: d.next_pc,
+                    }
+                }
+                OpClass::Return | OpClass::IndirectJump | OpClass::Halt => {
+                    Resolution::Target(d.next_pc)
+                }
+                _ => Resolution::None,
+            };
+            match b.push(d.pc, d.op, resolution) {
+                PushResult::Continue(_) => {}
+                PushResult::Complete(trace) => {
+                    return DynTrace {
+                        trace,
+                        mem_addrs,
+                        branch_outcomes,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_core::MAX_TRACE_LEN;
+    use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+    #[test]
+    fn traces_partition_the_dynamic_stream() {
+        let p = WorkloadBuilder::new(Benchmark::Compress).seed(1).build();
+        let mut s = TraceStream::new(&p);
+        let mut total = 0usize;
+        for _ in 0..1000 {
+            let t = s.next_trace();
+            assert!(!t.is_empty());
+            assert!(t.len() <= MAX_TRACE_LEN);
+            total += t.len();
+        }
+        assert_eq!(total as u64, s.retired());
+    }
+
+    #[test]
+    fn consecutive_traces_are_aligned() {
+        // Each trace's successor (when known) must equal the next
+        // trace's start — the alignment invariant.
+        let p = WorkloadBuilder::new(Benchmark::Li).seed(1).build();
+        let mut s = TraceStream::new(&p);
+        let mut prev = s.next_trace();
+        for _ in 0..2000 {
+            let next = s.next_trace();
+            if let Some(succ) = prev.trace.successor() {
+                assert_eq!(
+                    succ,
+                    next.trace.start(),
+                    "trace successor must match next trace start"
+                );
+            }
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn outcome_bits_match_recorded_outcomes() {
+        let p = WorkloadBuilder::new(Benchmark::Go).seed(1).build();
+        let mut s = TraceStream::new(&p);
+        for _ in 0..2000 {
+            let t = s.next_trace();
+            assert_eq!(
+                t.branch_outcomes.len() as u8,
+                t.trace.key().branch_count
+            );
+            for (i, &taken) in t.branch_outcomes.iter().enumerate() {
+                assert_eq!(t.trace.branch_outcome(i as u8), Some(taken));
+            }
+        }
+    }
+
+    #[test]
+    fn identical_paths_produce_identical_keys() {
+        // Re-running the stream must reproduce the same trace keys
+        // (determinism end to end).
+        let p = WorkloadBuilder::new(Benchmark::M88ksim).seed(3).build();
+        let keys = |_: ()| {
+            let mut s = TraceStream::new(&p);
+            (0..500).map(|_| s.next_trace().trace.key()).collect::<Vec<_>>()
+        };
+        assert_eq!(keys(()), keys(()));
+    }
+
+    #[test]
+    fn mem_addrs_parallel_instructions() {
+        let p = WorkloadBuilder::new(Benchmark::Ijpeg).seed(1).build();
+        let mut s = TraceStream::new(&p);
+        for _ in 0..500 {
+            let t = s.next_trace();
+            assert_eq!(t.mem_addrs.len(), t.len());
+            for (ti, ma) in t.trace.instrs().iter().zip(&t.mem_addrs) {
+                let is_mem = matches!(ti.op.class(), OpClass::Load | OpClass::Store);
+                assert_eq!(ma.is_some(), is_mem);
+            }
+        }
+    }
+}

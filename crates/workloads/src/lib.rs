@@ -1,0 +1,30 @@
+//! # tpc-workloads — synthetic SPECint95-like programs
+//!
+//! The paper evaluates on SPECint95 binaries compiled with the
+//! SimpleScalar toolchain; neither is available here, so this crate
+//! generates *synthetic* programs whose control-flow statistics are
+//! calibrated per benchmark (see `DESIGN.md` §2 for the substitution
+//! argument). Every quantity the paper's mechanisms key on is an
+//! explicit profile parameter:
+//!
+//! * static code footprint (number and size of functions),
+//! * working-set phase rotation (function groups the main loop
+//!   cycles through — this drives trace-cache capacity misses),
+//! * conditional-branch bias mix (strongly vs. weakly biased — this
+//!   decides how much of the path space preconstruction explores),
+//! * loop trip counts, call density, recursion, and indirect-jump
+//!   (switch) density.
+//!
+//! ```
+//! use tpc_workloads::{Benchmark, WorkloadBuilder};
+//!
+//! let program = WorkloadBuilder::new(Benchmark::Gcc).seed(7).build();
+//! assert!(program.len() > 10_000); // gcc's large static footprint
+//! ```
+
+mod gen;
+mod profile;
+pub mod stats;
+
+pub use gen::WorkloadBuilder;
+pub use profile::{Benchmark, ParseBenchmarkError, Profile};

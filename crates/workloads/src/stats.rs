@@ -1,0 +1,115 @@
+//! Static program statistics — the calibration quantities the
+//! profiles control, measurable so tests and users can verify them.
+
+use tpc_isa::model::OutcomeModel;
+use tpc_isa::{OpClass, Program};
+
+/// Static (code-level) statistics of a program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticStats {
+    /// Total instructions.
+    pub instructions: u32,
+    /// Functions recorded by the generator.
+    pub functions: u32,
+    /// Conditional branches.
+    pub branches: u32,
+    /// Conditional branches with a statically backward target
+    /// (loop back-edges).
+    pub backward_branches: u32,
+    /// Branches whose model is strongly biased (≥90 % one way).
+    pub strongly_biased_branches: u32,
+    /// Direct calls.
+    pub calls: u32,
+    /// Returns.
+    pub returns: u32,
+    /// Indirect jumps.
+    pub indirect_jumps: u32,
+    /// Loads.
+    pub loads: u32,
+    /// Stores.
+    pub stores: u32,
+}
+
+impl StaticStats {
+    /// Fraction of non-loop conditional branches that are strongly
+    /// biased, in 1/1000ths (`None` with no branches).
+    pub fn strong_bias_permille(&self) -> Option<u32> {
+        (self.branches > 0).then(|| self.strongly_biased_branches * 1000 / self.branches)
+    }
+
+    /// Code footprint in bytes (4 bytes per instruction).
+    pub fn code_bytes(&self) -> u64 {
+        self.instructions as u64 * 4
+    }
+}
+
+/// Computes static statistics for a program.
+pub fn static_stats(program: &Program) -> StaticStats {
+    let mut s = StaticStats {
+        functions: program.functions().len() as u32,
+        instructions: program.len() as u32,
+        ..StaticStats::default()
+    };
+    for (addr, op) in program.iter() {
+        match op.class() {
+            OpClass::Branch => {
+                s.branches += 1;
+                if op.is_backward_branch(addr) {
+                    s.backward_branches += 1;
+                }
+                if let Some(model) = program.branch_model(addr) {
+                    let strongly = match model {
+                        OutcomeModel::Loop { .. } => true,
+                        other => other.is_strongly_biased(),
+                    };
+                    if strongly {
+                        s.strongly_biased_branches += 1;
+                    }
+                }
+            }
+            OpClass::Call => s.calls += 1,
+            OpClass::Return => s.returns += 1,
+            OpClass::IndirectJump => s.indirect_jumps += 1,
+            OpClass::Load => s.loads += 1,
+            OpClass::Store => s.stores += 1,
+            _ => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, WorkloadBuilder};
+
+    #[test]
+    fn counts_are_consistent() {
+        let p = WorkloadBuilder::new(Benchmark::Li).seed(1).build();
+        let s = static_stats(&p);
+        assert_eq!(s.instructions as usize, p.len());
+        assert!(s.branches >= s.backward_branches);
+        assert!(s.strongly_biased_branches <= s.branches);
+        assert!(s.calls > 0 && s.returns > 0);
+        assert!(s.indirect_jumps > 0, "li has switches");
+    }
+
+    #[test]
+    fn footprint_ordering_visible_in_stats() {
+        let size = |b: Benchmark| {
+            static_stats(&WorkloadBuilder::new(b).seed(1).build()).code_bytes()
+        };
+        assert!(size(Benchmark::Gcc) > 64 * 1024, "gcc exceeds the I-cache");
+        assert!(size(Benchmark::Compress) < 8 * 1024);
+    }
+
+    #[test]
+    fn bias_mix_tracks_profiles() {
+        let strong = |b: Benchmark| {
+            static_stats(&WorkloadBuilder::new(b).seed(1).build())
+                .strong_bias_permille()
+                .expect("has branches")
+        };
+        assert!(strong(Benchmark::Vortex) > strong(Benchmark::Go));
+    }
+}

@@ -1,0 +1,33 @@
+//! Diagnostic: dynamic instructions per full program pass (phase
+//! rotation period). Run with `cargo test -p tpc-workloads --test
+//! pass_length -- --ignored --nocapture`.
+
+use tpc_exec::Executor;
+use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+#[test]
+#[ignore = "diagnostic, prints pass lengths"]
+fn print_pass_lengths() {
+    for b in Benchmark::ALL {
+        let p = WorkloadBuilder::new(b).seed(1).build();
+        let mut ex = Executor::new(&p);
+        let mut n = 0u64;
+        let cap = 30_000_000;
+        while ex.completions() < 1 && n < cap {
+            ex.next();
+            n += 1;
+        }
+        let pass1 = n;
+        while ex.completions() < 2 && n < cap {
+            ex.next();
+            n += 1;
+        }
+        println!(
+            "{:9} static={:6} pass1={:9} pass2={:9}",
+            b.name(),
+            p.len(),
+            pass1,
+            n - pass1
+        );
+    }
+}

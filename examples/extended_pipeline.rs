@@ -1,0 +1,46 @@
+//! The extended pipeline model (paper Section 6): preconstruction
+//! and preprocessing, separately and combined, on one benchmark —
+//! one group of bars from Figure 8.
+//!
+//! ```text
+//! cargo run --release --example extended_pipeline [benchmark]
+//! ```
+
+use trace_preconstruction::processor::{SimConfig, Simulator};
+use trace_preconstruction::workloads::{Benchmark, WorkloadBuilder};
+
+fn main() {
+    let benchmark: Benchmark = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().unwrap_or_else(|e| panic!("{e}")))
+        .unwrap_or(Benchmark::Vortex);
+
+    let program = WorkloadBuilder::new(benchmark).seed(1).build();
+    let (warmup, measure) = (150_000, 300_000);
+
+    let run = |label: &str, config: SimConfig| -> f64 {
+        let mut sim = Simulator::new(&program, config);
+        let stats = sim.run_with_warmup(warmup, measure);
+        println!("{label:<28} ipc = {:.3}", stats.ipc());
+        stats.ipc()
+    };
+
+    println!("benchmark: {benchmark}\n");
+    let base = run("baseline (256 TC)", SimConfig::baseline(256));
+    let precon = run("preconstruction (128+128)", SimConfig::with_precon(128, 128));
+    let preproc = run("preprocessing (256 TC)", SimConfig::baseline(256).with_preprocess());
+    let combined = run(
+        "combined (128+128, preproc)",
+        SimConfig::with_precon(128, 128).with_preprocess(),
+    );
+
+    let pct = |x: f64| (x / base - 1.0) * 100.0;
+    println!("\nspeedups over baseline:");
+    println!("  preconstruction  {:+.1}%", pct(precon));
+    println!("  preprocessing    {:+.1}%", pct(preproc));
+    println!("  combined         {:+.1}%", pct(combined));
+    println!("  sum of parts     {:+.1}%", pct(precon) + pct(preproc));
+    if pct(combined) > pct(precon) + pct(preproc) {
+        println!("\nthe combination exceeds the sum of its parts — the paper's Section 6 claim");
+    }
+}

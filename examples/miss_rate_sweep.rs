@@ -1,0 +1,28 @@
+//! Sweeps trace-cache and preconstruction-buffer sizes for one
+//! benchmark — a single panel of the paper's Figure 5.
+//!
+//! ```text
+//! cargo run --release --example miss_rate_sweep [benchmark]
+//! ```
+
+use trace_preconstruction::experiments::fig5;
+use trace_preconstruction::experiments::RunParams;
+use trace_preconstruction::workloads::Benchmark;
+
+fn main() {
+    let benchmark: Benchmark = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().unwrap_or_else(|e| panic!("{e}")))
+        .unwrap_or(Benchmark::Go);
+
+    let rows = fig5::run(&[benchmark], RunParams::default());
+    print!("{}", fig5::render(&rows));
+
+    for &(tc, pb) in &[(256u32, 256u32), (128, 128)] {
+        if let Some(reduction) = fig5::reduction_percent(&rows, benchmark, tc, pb) {
+            println!(
+                "\n{benchmark}: {tc}-entry TC + {pb}-entry PB removes {reduction:.0}% of the misses of the {tc}-entry baseline"
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The paper's worked example (Figures 2 and 3), reconstructed.
+//!
+//! Builds the static code of Figure 2 — block `a`, a `jal` to a
+//! procedure containing a loop (`b`, `c`*) and an if-then-else
+//! (`d`/`e|f`/`g`), a return, then `h`, a loop of `i`, and `j` —
+//! feeds the `jal` to the preconstruction engine exactly as the
+//! processor's dispatch stream would, and dumps the traces the engine
+//! builds for "Region 1" ahead of execution.
+//!
+//! ```text
+//! cargo run --release --example paper_example
+//! ```
+
+use trace_preconstruction::core::{EngineConfig, PreconEngine, SplitStore};
+use trace_preconstruction::isa::model::OutcomeModel;
+use trace_preconstruction::isa::{Addr, BranchCond, Op, Program, ProgramBuilder, Reg};
+use trace_preconstruction::mem::{InstrCache, InstrCacheConfig};
+use trace_preconstruction::predict::Bimodal;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Emits `len` filler ALU instructions standing in for one of the
+/// paper's basic blocks.
+fn block(b: &mut ProgramBuilder, len: u32) {
+    for _ in 0..len {
+        b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: 1 });
+    }
+}
+
+fn build_figure2() -> (Program, Addr) {
+    let mut b = ProgramBuilder::new();
+
+    // block a; jal proc
+    block(&mut b, 3);
+    let jal_at = b.push(Op::Nop); // patched to jal below
+
+    // Region 1 starts here: h; loop of i; j (the code after the
+    // procedure returns).
+    let _region1 = b.here();
+    block(&mut b, 4); // h
+    let i_top = b.here();
+    block(&mut b, 4); // i
+    b.push_branch(
+        Op::Branch { cond: BranchCond::Ne, rs1: r(2), rs2: r(3), target: i_top },
+        OutcomeModel::Loop { trip: 2 },
+    );
+    block(&mut b, 3); // j
+    b.push(Op::Halt);
+
+    // The procedure: b; loop of c; if-then-else d/(e|f)/g; ret.
+    let proc = b.here();
+    block(&mut b, 3); // b
+    let c_top = b.here();
+    block(&mut b, 3); // c
+    b.push_branch(
+        Op::Branch { cond: BranchCond::Ne, rs1: r(2), rs2: r(3), target: c_top },
+        OutcomeModel::Loop { trip: 3 },
+    );
+    // d, then branch to f (else) or fall into e.
+    block(&mut b, 2); // d
+    let br_at = b.push_branch(
+        Op::Branch { cond: BranchCond::Eq, rs1: r(4), rs2: r(5), target: Addr::ZERO },
+        OutcomeModel::Biased { num: 1, denom: 2, seed: 42 },
+    );
+    block(&mut b, 2); // e
+    let jmp_at = b.push(Op::Jump { target: Addr::ZERO });
+    let f_at = b.here();
+    block(&mut b, 2); // f
+    let g_at = b.here();
+    block(&mut b, 2); // g
+    b.push(Op::Return);
+    b.patch(br_at, Op::Branch { cond: BranchCond::Eq, rs1: r(4), rs2: r(5), target: f_at });
+    b.patch(jmp_at, Op::Jump { target: g_at });
+    b.patch(jal_at, Op::Call { target: proc });
+    b.record_function("main", Addr::ZERO);
+    b.record_function("proc", proc);
+
+    (b.build().expect("figure 2 code is valid"), jal_at)
+}
+
+fn main() {
+    let (program, jal_at) = build_figure2();
+    println!("=== static code (paper Figure 2) ===\n{program}");
+
+    // Stand-alone preconstruction harness: the engine sees the jal
+    // dispatch and explores Region 1 while the "processor" is still
+    // inside the procedure.
+    let mut engine = PreconEngine::new(EngineConfig::default());
+    let mut icache = InstrCache::new(InstrCacheConfig::default());
+    let bimodal = Bimodal::new(1024); // weak everywhere: both if arms explored
+    let mut store = SplitStore::new(64, 256);
+
+    let jal = *program.fetch(jal_at).expect("jal present");
+    engine.observe_dispatch(jal_at, &jal, 1);
+    for cycle in 0..400 {
+        engine.tick(cycle, true, &program, &mut icache, &bimodal, &mut store);
+    }
+
+    println!("=== preconstruction after observing the jal ===\n");
+    let stats = engine.stats();
+    println!(
+        "regions started: {}, completed: {}, traces built: {}\n",
+        stats.regions_started, stats.regions_completed, stats.traces_built
+    );
+
+    // Dump the buffer contents, ordered by start address — these are
+    // the traces waiting for the processor to arrive.
+    println!("traces preconstructed for Region 1 (start {}):", jal_at.next());
+    let mut traces: Vec<_> = store.buffers().iter().collect();
+    traces.sort_by_key(|(t, _)| (t.start(), t.key().outcomes));
+    for (trace, _region) in traces {
+        let key = trace.key();
+        println!(
+            "\n  trace @ {} ({} instrs, {} branches, outcomes {:0w$b}):",
+            trace.start(),
+            trace.len(),
+            key.branch_count,
+            key.outcomes,
+            w = key.branch_count as usize
+        );
+        for ti in trace.instrs() {
+            println!("    {}:  {}", ti.pc, ti.op);
+        }
+        match trace.successor() {
+            Some(succ) => println!("    → next trace start point {succ}"),
+            None => println!("    → successor unknown (path ends)"),
+        }
+    }
+}

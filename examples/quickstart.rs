@@ -1,0 +1,57 @@
+//! Quickstart: simulate one benchmark with and without trace
+//! preconstruction and print the headline numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark]
+//! ```
+
+use trace_preconstruction::processor::{SimConfig, Simulator};
+use trace_preconstruction::workloads::{Benchmark, WorkloadBuilder};
+
+fn main() {
+    let benchmark: Benchmark = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().unwrap_or_else(|e| panic!("{e}")))
+        .unwrap_or(Benchmark::Gcc);
+
+    println!("generating synthetic {benchmark} workload...");
+    let program = WorkloadBuilder::new(benchmark).seed(1).build();
+    println!(
+        "  {} static instructions, {} functions\n",
+        program.len(),
+        program.functions().len()
+    );
+
+    let (warmup, measure) = (150_000, 300_000);
+
+    // Baseline: 256-entry trace cache, no preconstruction.
+    let mut base = Simulator::new(&program, SimConfig::baseline(256));
+    let sb = base.run_with_warmup(warmup, measure);
+
+    // Equal area: 128-entry trace cache + 128-entry preconstruction
+    // buffer.
+    let mut precon = Simulator::new(&program, SimConfig::with_precon(128, 128));
+    let sp = precon.run_with_warmup(warmup, measure);
+
+    println!("                         baseline (256 TC)   precon (128 TC + 128 PB)");
+    println!(
+        "TC misses /1000 instr    {:>8.1}            {:>8.1}",
+        sb.tc_misses_per_kilo(),
+        sp.tc_misses_per_kilo()
+    );
+    println!(
+        "I-cache instrs /1000     {:>8.1}            {:>8.1}",
+        sb.icache_supplied_per_kilo(),
+        sp.icache_supplied_per_kilo()
+    );
+    println!("IPC                      {:>8.2}            {:>8.2}", sb.ipc(), sp.ipc());
+    println!(
+        "\npreconstruction: {:+.1}% miss rate, {:+.1}% performance",
+        (sp.tc_misses_per_kilo() / sb.tc_misses_per_kilo() - 1.0) * 100.0,
+        (sp.speedup_over(&sb) - 1.0) * 100.0
+    );
+    println!(
+        "buffer hits: {} of {} trace fetches",
+        sp.precon_buffer_hits, sp.trace_fetches
+    );
+}

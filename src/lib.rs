@@ -1,0 +1,42 @@
+//! # trace-preconstruction
+//!
+//! A from-scratch reproduction of *Trace Preconstruction* (Quinn
+//! Jacobson & James E. Smith, ISCA 2000): a trace-processor
+//! microarchitecture simulator whose trace cache is augmented with a
+//! preconstruction engine that builds traces ahead of execution, plus
+//! the paper's extended-pipeline preprocessing optimizations.
+//!
+//! This facade crate re-exports every sub-crate under one roof:
+//!
+//! * [`isa`] — the mini-RISC instruction set.
+//! * [`workloads`] — synthetic SPECint95-like program generator.
+//! * [`exec`] — architectural executor (dynamic instruction stream).
+//! * [`mem`] — cache models (I-cache, D-cache, L2, prefetch caches).
+//! * [`predict`] — bimodal, return-address-stack and next-trace
+//!   predictors.
+//! * [`core`] — traces, trace cache, preconstruction buffers, the
+//!   preconstruction engine, and trace preprocessing.
+//! * [`processor`] — the cycle-level trace-processor timing model.
+//! * [`experiments`] — reproductions of every table and figure in the
+//!   paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use trace_preconstruction::workloads::{Benchmark, WorkloadBuilder};
+//! use trace_preconstruction::processor::{Simulator, SimConfig};
+//!
+//! let program = WorkloadBuilder::new(Benchmark::Compress).seed(1).build();
+//! let mut sim = Simulator::new(&program, SimConfig::default());
+//! let stats = sim.run(50_000);
+//! assert!(stats.retired_instructions >= 50_000);
+//! ```
+
+pub use tpc_core as core;
+pub use tpc_exec as exec;
+pub use tpc_experiments as experiments;
+pub use tpc_isa as isa;
+pub use tpc_mem as mem;
+pub use tpc_predict as predict;
+pub use tpc_processor as processor;
+pub use tpc_workloads as workloads;

@@ -1,0 +1,122 @@
+//! Cross-crate integration invariants: the pieces agree with each
+//! other when assembled into the full machine.
+
+use trace_preconstruction::core::{PushResult, Resolution, TraceBuilder};
+use trace_preconstruction::exec::Executor;
+use trace_preconstruction::isa::OpClass;
+use trace_preconstruction::processor::{SimConfig, Simulator, TraceStream};
+use trace_preconstruction::workloads::{Benchmark, WorkloadBuilder};
+
+/// Fetch accounting is exact: every trace fetch is satisfied by
+/// exactly one supplier, and every retired instruction passed through
+/// a fetched trace.
+#[test]
+fn supply_accounting_is_conserved() {
+    for benchmark in [Benchmark::Li, Benchmark::Perl] {
+        let program = WorkloadBuilder::new(benchmark).seed(3).build();
+        let mut sim = Simulator::new(&program, SimConfig::with_precon(128, 128));
+        let s = sim.run(60_000);
+        assert_eq!(
+            s.trace_fetches,
+            s.trace_cache_hits + s.precon_buffer_hits + s.trace_cache_misses,
+            "{benchmark}: each fetch has exactly one supplier"
+        );
+        assert!(s.retired_traces <= s.trace_fetches);
+        assert!(s.retired_instructions <= s.trace_fetches * 16);
+    }
+}
+
+/// The executor and the trace stream describe the same dynamic
+/// instruction sequence: re-chunking the raw stream with the shared
+/// trace builder reproduces the stream's traces exactly.
+#[test]
+fn trace_stream_matches_raw_executor() {
+    let program = WorkloadBuilder::new(Benchmark::M88ksim).seed(5).build();
+    let mut stream = TraceStream::new(&program);
+    let mut raw = Executor::new(&program);
+
+    for _ in 0..3_000 {
+        let dt = stream.next_trace();
+        for ti in dt.trace.instrs() {
+            let d = raw.next().expect("endless");
+            assert_eq!(d.pc, ti.pc, "stream and executor agree on addresses");
+            assert_eq!(d.op, ti.op);
+        }
+    }
+    assert_eq!(stream.retired(), raw.retired());
+}
+
+/// Rebuilding a trace from the same start along the same outcomes
+/// with a fresh builder yields the identical identity — the property
+/// the preconstruction buffers rely on to hit.
+#[test]
+fn trace_identity_is_reconstructible() {
+    let program = WorkloadBuilder::new(Benchmark::Go).seed(2).build();
+    let mut stream = TraceStream::new(&program);
+    for _ in 0..2_000 {
+        let dt = stream.next_trace();
+        // Re-drive a fresh builder with the recorded ops/outcomes.
+        let mut b = TraceBuilder::new(dt.trace.start());
+        let mut outcome_iter = dt.branch_outcomes.iter();
+        let mut rebuilt = None;
+        for (i, ti) in dt.trace.instrs().iter().enumerate() {
+            let resolution = match ti.op.class() {
+                OpClass::Branch => {
+                    let taken = *outcome_iter.next().unwrap();
+                    let next = if taken {
+                        ti.op.static_target().unwrap()
+                    } else {
+                        ti.pc.next()
+                    };
+                    Resolution::Branch { taken, next_pc: next }
+                }
+                OpClass::Return | OpClass::IndirectJump | OpClass::Halt => {
+                    match dt.trace.successor() {
+                        Some(s) if i == dt.trace.len() - 1 => Resolution::Target(s),
+                        _ => Resolution::None,
+                    }
+                }
+                _ => Resolution::None,
+            };
+            match b.push(ti.pc, ti.op, resolution) {
+                PushResult::Continue(_) => {}
+                PushResult::Complete(t) => {
+                    rebuilt = Some(t);
+                    break;
+                }
+            }
+        }
+        let rebuilt = rebuilt.expect("trace completes at the same point");
+        assert_eq!(rebuilt.key(), dt.trace.key(), "identity is a pure function of the path");
+        assert_eq!(rebuilt.len(), dt.trace.len());
+    }
+}
+
+/// Full-machine determinism across independently constructed
+/// simulators, configs and benchmarks.
+#[test]
+fn full_machine_determinism() {
+    for benchmark in [Benchmark::Compress, Benchmark::Gcc] {
+        let program = WorkloadBuilder::new(benchmark).seed(7).build();
+        let run = || {
+            let mut sim =
+                Simulator::new(&program, SimConfig::with_precon(128, 128).with_preprocess());
+            let s = sim.run(40_000);
+            (s.cycles, s.trace_cache_misses, s.precon_buffer_hits, s.ntp_mispredicts)
+        };
+        assert_eq!(run(), run(), "{benchmark} deterministic");
+    }
+}
+
+/// The facade crate re-exports a coherent API: the quickstart in the
+/// crate docs compiles against these paths.
+#[test]
+fn facade_paths_work() {
+    use trace_preconstruction as tp;
+    let program = tp::workloads::WorkloadBuilder::new(tp::workloads::Benchmark::Compress)
+        .seed(1)
+        .build();
+    let mut sim = tp::processor::Simulator::new(&program, tp::processor::SimConfig::default());
+    let stats = sim.run(5_000);
+    assert!(stats.retired_instructions >= 5_000);
+}

@@ -1,0 +1,148 @@
+//! Integration tests asserting the paper's qualitative claims hold
+//! end-to-end (shapes, not absolute numbers — see EXPERIMENTS.md).
+
+use trace_preconstruction::processor::{SimConfig, Simulator};
+use trace_preconstruction::workloads::{Benchmark, WorkloadBuilder};
+
+const WARMUP: u64 = 60_000;
+const MEASURE: u64 = 120_000;
+
+fn miss_rate(benchmark: Benchmark, tc: u32, pb: u32) -> f64 {
+    let program = WorkloadBuilder::new(benchmark).seed(1).build();
+    let mut sim = Simulator::new(&program, SimConfig::with_precon(tc, pb));
+    sim.run_with_warmup(WARMUP, MEASURE).tc_misses_per_kilo()
+}
+
+/// Section 5.1: the large-working-set benchmarks see substantial
+/// (tens of percent) miss-rate reductions from preconstruction.
+#[test]
+fn precon_reduces_misses_for_large_benchmarks() {
+    for benchmark in [Benchmark::Gcc, Benchmark::Go, Benchmark::Vortex] {
+        let base = miss_rate(benchmark, 256, 0);
+        let pre = miss_rate(benchmark, 256, 256);
+        let reduction = (1.0 - pre / base) * 100.0;
+        assert!(
+            reduction > 20.0,
+            "{benchmark}: reduction {reduction:.0}% (base {base:.1}, precon {pre:.1})"
+        );
+    }
+}
+
+/// Section 5.1: preconstruction beats spending the same area on a
+/// larger trace cache (equal-area comparison).
+#[test]
+fn precon_beats_equal_area_trace_cache() {
+    for benchmark in [Benchmark::Gcc, Benchmark::Go, Benchmark::Vortex] {
+        let big_tc = miss_rate(benchmark, 512, 0);
+        let split = miss_rate(benchmark, 256, 256);
+        assert!(
+            split < big_tc,
+            "{benchmark}: split {split:.1} should beat big TC {big_tc:.1}"
+        );
+    }
+}
+
+/// Section 5.1: compress and ijpeg have working sets so small that
+/// there is nothing for preconstruction to improve.
+#[test]
+fn small_benchmarks_have_no_headroom() {
+    for benchmark in [Benchmark::Compress, Benchmark::Ijpeg] {
+        let base = miss_rate(benchmark, 256, 0);
+        assert!(
+            base < 5.0,
+            "{benchmark}: baseline miss rate {base:.1} already near zero"
+        );
+    }
+}
+
+/// Figure 5 panels: miss rate decreases monotonically (within noise)
+/// with trace-cache size.
+#[test]
+fn miss_rate_scales_with_trace_cache_size() {
+    let program = WorkloadBuilder::new(Benchmark::Gcc).seed(1).build();
+    let mut prev = f64::INFINITY;
+    for tc in [64, 256, 1024] {
+        let mut sim = Simulator::new(&program, SimConfig::baseline(tc));
+        let rate = sim.run_with_warmup(WARMUP, MEASURE).tc_misses_per_kilo();
+        assert!(
+            rate < prev * 1.05,
+            "gcc: miss rate {rate:.1} at {tc} entries should not exceed smaller cache ({prev:.1})"
+        );
+        prev = rate;
+    }
+}
+
+/// Section 5.2, Table 1 direction: preconstruction cuts the number
+/// of instructions the I-cache must supply to the processor.
+#[test]
+fn precon_reduces_slow_path_supply() {
+    let program = WorkloadBuilder::new(Benchmark::Gcc).seed(1).build();
+    let mut base = Simulator::new(&program, SimConfig::baseline(512));
+    let sb = base.run_with_warmup(WARMUP, MEASURE);
+    let mut pre = Simulator::new(&program, SimConfig::with_precon(256, 256));
+    let sp = pre.run_with_warmup(WARMUP, MEASURE);
+    assert!(
+        sp.icache_supplied_per_kilo() < sb.icache_supplied_per_kilo(),
+        "supply: precon {:.0} vs base {:.0}",
+        sp.icache_supplied_per_kilo(),
+        sb.icache_supplied_per_kilo()
+    );
+}
+
+/// Section 5.2, Tables 2 and 3: preconstruction shifts I-cache
+/// misses from the demand (slow) path to the engine — demand misses
+/// drop because the engine prefetched those lines, total misses do
+/// not drop (the engine touches lines the processor never demanded),
+/// and the instructions supplied *from misses* fall.
+#[test]
+fn precon_shifts_icache_misses_to_the_engine() {
+    let program = WorkloadBuilder::new(Benchmark::Gcc).seed(1).build();
+    let mut base = Simulator::new(&program, SimConfig::baseline(512));
+    let sb = base.run_with_warmup(WARMUP, MEASURE);
+    let mut pre = Simulator::new(&program, SimConfig::with_precon(256, 256));
+    let sp = pre.run_with_warmup(WARMUP, MEASURE);
+    assert!(
+        sp.icache.demand_misses < sb.icache.demand_misses,
+        "demand misses drop: {} vs {}",
+        sp.icache.demand_misses,
+        sb.icache.demand_misses
+    );
+    assert!(sp.icache.precon_misses > 0, "the engine takes misses of its own");
+    assert!(
+        sp.icache_misses_per_kilo() > sb.icache_misses_per_kilo() * 0.8,
+        "total misses do not collapse: precon {:.1} vs base {:.1}",
+        sp.icache_misses_per_kilo(),
+        sb.icache_misses_per_kilo()
+    );
+    assert!(
+        sp.miss_supplied_per_kilo() < sb.miss_supplied_per_kilo(),
+        "Table 3: instructions supplied from misses fall ({:.1} vs {:.1})",
+        sp.miss_supplied_per_kilo(),
+        sb.miss_supplied_per_kilo()
+    );
+    assert!(
+        sp.icache.demand_hits_on_precon_lines > 0,
+        "the slow path hits lines the engine prefetched"
+    );
+}
+
+/// Section 6 / Figure 8: preprocessing alone speeds up execution, and
+/// the combination with preconstruction beats either alone.
+#[test]
+fn extended_pipeline_combination_wins() {
+    let program = WorkloadBuilder::new(Benchmark::Gcc).seed(1).build();
+    let ipc = |config: SimConfig| {
+        Simulator::new(&program, config)
+            .run_with_warmup(WARMUP, MEASURE)
+            .ipc()
+    };
+    let base = ipc(SimConfig::baseline(256));
+    let precon = ipc(SimConfig::with_precon(128, 128));
+    let preproc = ipc(SimConfig::baseline(256).with_preprocess());
+    let combined = ipc(SimConfig::with_precon(128, 128).with_preprocess());
+    assert!(preproc > base, "preprocessing helps: {preproc:.3} vs {base:.3}");
+    assert!(
+        combined > precon && combined > preproc,
+        "combination ({combined:.3}) beats precon ({precon:.3}) and preproc ({preproc:.3})"
+    );
+}

@@ -1,0 +1,86 @@
+//! Property-based tests over randomly generated workloads: the
+//! system-level invariants must hold for *every* seed, not just the
+//! calibrated profiles' defaults.
+
+use proptest::prelude::*;
+use trace_preconstruction::core::MAX_TRACE_LEN;
+use trace_preconstruction::exec::Executor;
+use trace_preconstruction::isa::OpClass;
+use trace_preconstruction::processor::{SimConfig, Simulator, TraceStream};
+use trace_preconstruction::workloads::{Benchmark, WorkloadBuilder};
+
+fn small_benchmarks() -> impl Strategy<Value = Benchmark> {
+    prop_oneof![
+        Just(Benchmark::Compress),
+        Just(Benchmark::Ijpeg),
+        Just(Benchmark::Li),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Generated programs always validate and execute indefinitely.
+    #[test]
+    fn any_seed_builds_and_runs(benchmark in small_benchmarks(), seed in 0u64..1_000) {
+        let program = WorkloadBuilder::new(benchmark).seed(seed).build();
+        prop_assert!(program.len() > 10);
+        let mut ex = Executor::new(&program);
+        for _ in 0..20_000 {
+            let d = ex.next().expect("endless stream");
+            prop_assert!(program.fetch(d.pc).is_some(), "pc stays inside the code");
+        }
+    }
+
+    /// Traces partition the dynamic stream: no instruction is lost or
+    /// duplicated, traces respect the length cap, and consecutive
+    /// traces chain through their successors.
+    #[test]
+    fn traces_partition_stream(benchmark in small_benchmarks(), seed in 0u64..1_000) {
+        let program = WorkloadBuilder::new(benchmark).seed(seed).build();
+        let mut stream = TraceStream::new(&program);
+        let mut covered = 0u64;
+        let mut prev_succ: Option<trace_preconstruction::isa::Addr> = None;
+        for _ in 0..400 {
+            let dt = stream.next_trace();
+            prop_assert!(!dt.is_empty() && dt.len() <= MAX_TRACE_LEN);
+            if let Some(succ) = prev_succ {
+                prop_assert_eq!(succ, dt.trace.start(), "alignment chain");
+            }
+            prev_succ = dt.trace.successor();
+            covered += dt.len() as u64;
+            // Branch-outcome metadata is exactly parallel.
+            let branches = dt
+                .trace
+                .instrs()
+                .iter()
+                .filter(|ti| ti.op.class() == OpClass::Branch)
+                .count();
+            prop_assert_eq!(branches, dt.branch_outcomes.len());
+        }
+        prop_assert_eq!(covered, stream.retired());
+    }
+
+    /// The simulator's conservation law holds under random seeds and
+    /// random cache shapes.
+    #[test]
+    fn fetch_conservation(
+        benchmark in small_benchmarks(),
+        seed in 0u64..1_000,
+        tc_pow in 6u32..9,
+        pb_sel in 0usize..3,
+    ) {
+        let pb = [0u32, 32, 128][pb_sel];
+        let program = WorkloadBuilder::new(benchmark).seed(seed).build();
+        let mut sim = Simulator::new(&program, SimConfig::with_precon(1 << tc_pow, pb));
+        let s = sim.run(15_000);
+        prop_assert_eq!(
+            s.trace_fetches,
+            s.trace_cache_hits + s.precon_buffer_hits + s.trace_cache_misses
+        );
+        prop_assert!(s.ipc() > 0.05 && s.ipc() <= 8.0);
+        if pb == 0 {
+            prop_assert_eq!(s.precon_buffer_hits, 0);
+        }
+    }
+}
