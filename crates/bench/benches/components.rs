@@ -12,7 +12,11 @@ fn mk_trace(start: u32) -> tpc_core::Trace {
     for i in 0..15 {
         match b.push(
             Addr::new(start + i),
-            Op::AddImm { rd: Reg::new(1 + (i % 8) as u8), rs1: Reg::new(1), imm: 1 },
+            Op::AddImm {
+                rd: Reg::new(1 + (i % 8) as u8),
+                rs1: Reg::new(1),
+                imm: 1,
+            },
             Resolution::None,
         ) {
             PushResult::Continue(_) => {}
@@ -55,7 +59,11 @@ fn components(c: &mut Criterion) {
     group.bench_function("ntp_predict_observe", |b| {
         let mut ntp = NextTracePredictor::new(NtpConfig::default());
         let keys: Vec<TraceKey> = (0..64)
-            .map(|i| TraceKey { start: Addr::new(i * 16), branch_count: 2, outcomes: (i % 4) as u16 })
+            .map(|i| TraceKey {
+                start: Addr::new(i * 16),
+                branch_count: 2,
+                outcomes: (i % 4) as u16,
+            })
             .collect();
         let mut i = 0;
         b.iter(|| {

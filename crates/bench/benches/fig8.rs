@@ -14,10 +14,8 @@ fn regenerate_and_bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("perl_combined_pipeline", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(
-                &program,
-                SimConfig::with_precon(128, 128).with_preprocess(),
-            );
+            let mut sim =
+                Simulator::new(&program, SimConfig::with_precon(128, 128).with_preprocess());
             std::hint::black_box(sim.run(30_000).ipc())
         })
     });

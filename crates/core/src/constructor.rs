@@ -118,7 +118,10 @@ impl TraceConstructor {
         match builder.push(
             d.branch_pc,
             op,
-            Resolution::Branch { taken: true, next_pc: target },
+            Resolution::Branch {
+                taken: true,
+                next_pc: target,
+            },
         ) {
             PushResult::Continue(next) => {
                 self.pc = next;
@@ -140,12 +143,7 @@ impl TraceConstructor {
     /// `prefetch` is the region's prefetch cache (instructions must
     /// be resident to be decoded); `bimodal` is the shared slow-path
     /// predictor consulted for branch bias.
-    pub fn step(
-        &mut self,
-        program: &Program,
-        prefetch: &PrefetchCache,
-        bimodal: &Bimodal,
-    ) -> Step {
+    pub fn step(&mut self, program: &Program, prefetch: &PrefetchCache, bimodal: &Bimodal) -> Step {
         let Some(builder) = self.builder.as_mut() else {
             return Step::Idle;
         };
@@ -164,10 +162,14 @@ impl TraceConstructor {
             OpClass::Branch => {
                 let target = op.static_target().expect("branch has a static target");
                 match bimodal.bias(pc) {
-                    Bias::StronglyTaken => Resolution::Branch { taken: true, next_pc: target },
-                    Bias::StronglyNotTaken => {
-                        Resolution::Branch { taken: false, next_pc: pc.next() }
-                    }
+                    Bias::StronglyTaken => Resolution::Branch {
+                        taken: true,
+                        next_pc: target,
+                    },
+                    Bias::StronglyNotTaken => Resolution::Branch {
+                        taken: false,
+                        next_pc: pc.next(),
+                    },
                     Bias::Weak => {
                         // Fork: not-taken first, taken path saved for
                         // backtracking (bounded stack; overflow means
@@ -179,7 +181,10 @@ impl TraceConstructor {
                                 branch_pc: pc,
                             });
                         }
-                        Resolution::Branch { taken: false, next_pc: pc.next() }
+                        Resolution::Branch {
+                            taken: false,
+                            next_pc: pc.next(),
+                        }
                     }
                 }
             }
@@ -258,7 +263,11 @@ mod tests {
     fn straight_line_single_trace() {
         let mut b = ProgramBuilder::new();
         for _ in 0..5 {
-            b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: 1 });
+            b.push(Op::AddImm {
+                rd: r(1),
+                rs1: r(1),
+                imm: 1,
+            });
         }
         b.push(Op::Return);
         let p = b.build().unwrap();
@@ -278,14 +287,33 @@ mod tests {
         // taken path 3..4; join at 5: ret.
         let mut b = ProgramBuilder::new();
         b.push_branch(
-            Op::Branch { cond: BranchCond::Ne, rs1: r(1), rs2: r(2), target: Addr::new(3) },
-            OutcomeModel::Biased { num: 1, denom: 2, seed: 3 },
+            Op::Branch {
+                cond: BranchCond::Ne,
+                rs1: r(1),
+                rs2: r(2),
+                target: Addr::new(3),
+            },
+            OutcomeModel::Biased {
+                num: 1,
+                denom: 2,
+                seed: 3,
+            },
         );
-        b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: 1 }); // 1
-        b.push(Op::Jump { target: Addr::new(5) });          // 2
-        b.push(Op::AddImm { rd: r(2), rs1: r(2), imm: 1 }); // 3
-        b.push(Op::Nop);                                    // 4
-        b.push(Op::Return);                                 // 5
+        b.push(Op::AddImm {
+            rd: r(1),
+            rs1: r(1),
+            imm: 1,
+        }); // 1
+        b.push(Op::Jump {
+            target: Addr::new(5),
+        }); // 2
+        b.push(Op::AddImm {
+            rd: r(2),
+            rs1: r(2),
+            imm: 1,
+        }); // 3
+        b.push(Op::Nop); // 4
+        b.push(Op::Return); // 5
         let p = b.build().unwrap();
         let prefetch = full_prefetch(&p);
         let bimodal = Bimodal::new(64); // weak state everywhere
@@ -304,12 +332,21 @@ mod tests {
     fn strong_bias_follows_single_path() {
         let mut b = ProgramBuilder::new();
         b.push_branch(
-            Op::Branch { cond: BranchCond::Ne, rs1: r(1), rs2: r(2), target: Addr::new(3) },
+            Op::Branch {
+                cond: BranchCond::Ne,
+                rs1: r(1),
+                rs2: r(2),
+                target: Addr::new(3),
+            },
             OutcomeModel::AlwaysTaken,
         );
         b.push(Op::Nop); // 1 (not-taken arm, never constructed)
         b.push(Op::Return); // 2
-        b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: 1 }); // 3
+        b.push(Op::AddImm {
+            rd: r(1),
+            rs1: r(1),
+            imm: 1,
+        }); // 3
         b.push(Op::Return); // 4
         let p = b.build().unwrap();
         let prefetch = full_prefetch(&p);
@@ -333,7 +370,11 @@ mod tests {
         b.push(Op::Nop); // 1
         b.push(Op::Return); // 2
         let f = b.here(); // 3
-        b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: 1 }); // 3
+        b.push(Op::AddImm {
+            rd: r(1),
+            rs1: r(1),
+            imm: 1,
+        }); // 3
         b.push(Op::Return); // 4
         b.patch(call_at, Op::Call { target: f });
         let p = b.build().unwrap();
@@ -395,7 +436,11 @@ mod tests {
                     rs2: r(2),
                     target: Addr::new(4), // forward, into the ret below
                 },
-                OutcomeModel::Biased { num: 1, denom: 2, seed: i as u64 },
+                OutcomeModel::Biased {
+                    num: 1,
+                    denom: 2,
+                    seed: i as u64,
+                },
             );
         }
         b.push(Op::Nop); // 3

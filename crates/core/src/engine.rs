@@ -279,7 +279,9 @@ impl PreconEngine {
             // phase guarantees one seed lands on the lattice the
             // processor will actually use (paper Section 2.2).
             let seeds: Vec<Addr> = match sp.reason {
-                crate::start_stack::StartReason::LoopExit if self.config.lattice_seed_loop_exits => {
+                crate::start_stack::StartReason::LoopExit
+                    if self.config.lattice_seed_loop_exits =>
+                {
                     (0..crate::trace::ALIGN_QUANTUM as u32)
                         .map(|k| sp.addr + k * crate::trace::ALIGN_QUANTUM as u32)
                         .collect()
@@ -304,7 +306,9 @@ impl PreconEngine {
     /// Moves arrived line fetches into their prefetch caches.
     fn land_pending_fetches(&mut self, cycle: u64) {
         for i in 0..self.regions.len() {
-            let Some(region) = self.regions[i].as_mut() else { continue };
+            let Some(region) = self.regions[i].as_mut() else {
+                continue;
+            };
             if let Some((addr, ready)) = region.pending {
                 if cycle >= ready {
                     region.pending = None;
@@ -346,11 +350,12 @@ impl PreconEngine {
             while budget > 0 {
                 // (Re)assign idle constructors to the newest region
                 // with pending work.
-                if self.constructors[c].is_idle()
-                    && !self.assign_work(c) {
-                        break;
-                    }
-                let Some(slot) = self.assignment[c] else { break };
+                if self.constructors[c].is_idle() && !self.assign_work(c) {
+                    break;
+                }
+                let Some(slot) = self.assignment[c] else {
+                    break;
+                };
                 let Some(region) = self.regions[slot].as_ref() else {
                     self.assignment[c] = None;
                     continue;
@@ -358,9 +363,7 @@ impl PreconEngine {
                 match self.constructors[c].step(program, &region.prefetch, bimodal) {
                     Step::Advanced => budget -= 1,
                     Step::NeedLine(addr) => {
-                        let region = self.regions[slot]
-                            .as_mut()
-                            .expect("checked above");
+                        let region = self.regions[slot].as_mut().expect("checked above");
                         if region.prefetch.is_full() {
                             self.retire_region(slot, RegionEnd::FetchBound);
                         } else {
@@ -396,7 +399,9 @@ impl PreconEngine {
         }
         let region_id;
         {
-            let Some(region) = self.regions[slot].as_mut() else { return };
+            let Some(region) = self.regions[slot].as_mut() else {
+                return;
+            };
             region_id = region.id;
             if let Some(succ) = trace.successor() {
                 if !region.seen.contains(&succ) {
@@ -454,7 +459,9 @@ impl PreconEngine {
     fn complete_quiet_regions(&mut self) {
         for i in 0..self.regions.len() {
             let quiet = {
-                let Some(region) = self.regions[i].as_ref() else { continue };
+                let Some(region) = self.regions[i].as_ref() else {
+                    continue;
+                };
                 region.worklist.is_empty()
                     && region.pending.is_none()
                     && region.want_line.is_none()
@@ -471,7 +478,9 @@ impl PreconEngine {
     }
 
     fn retire_region(&mut self, slot: usize, end: RegionEnd) {
-        let Some(region) = self.regions[slot].take() else { return };
+        let Some(region) = self.regions[slot].take() else {
+            return;
+        };
         match end {
             RegionEnd::Completed => self.stats.regions_completed += 1,
             RegionEnd::CaughtUp => self.stats.regions_caught_up += 1,
@@ -513,13 +522,21 @@ mod tests {
     fn call_program() -> Program {
         let mut b = ProgramBuilder::new();
         let call_at = b.push(Op::Nop); // patched to call f
-        // Return point: post-call region (the region start point).
+                                       // Return point: post-call region (the region start point).
         for _ in 0..6 {
-            b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: 1 });
+            b.push(Op::AddImm {
+                rd: r(1),
+                rs1: r(1),
+                imm: 1,
+            });
         }
         b.push(Op::Halt);
         let f = b.here();
-        b.push(Op::AddImm { rd: r(2), rs1: r(2), imm: 1 });
+        b.push(Op::AddImm {
+            rd: r(2),
+            rs1: r(2),
+            imm: 1,
+        });
         b.push(Op::Return);
         b.patch(call_at, Op::Call { target: f });
         b.build().unwrap()
@@ -564,7 +581,11 @@ mod tests {
         // The region starts at the return point (address 1) and the
         // first trace runs to the halt: find it by reconstructing the
         // expected key (straight-line: no branches).
-        let key = TraceKey { start: Addr::new(1), branch_count: 0, outcomes: 0 };
+        let key = TraceKey {
+            start: Addr::new(1),
+            branch_count: 0,
+            outcomes: 0,
+        };
         let fetched = store.fetch(key);
         assert!(fetched.hit, "trace from the post-call region present");
         assert!(fetched.from_precon);
@@ -573,13 +594,26 @@ mod tests {
     #[test]
     fn backward_branch_spawns_loop_exit_region() {
         let mut b = ProgramBuilder::new();
-        let top = b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: 1 });
+        let top = b.push(Op::AddImm {
+            rd: r(1),
+            rs1: r(1),
+            imm: 1,
+        });
         b.push_branch(
-            Op::Branch { cond: BranchCond::Ne, rs1: r(1), rs2: r(2), target: top },
+            Op::Branch {
+                cond: BranchCond::Ne,
+                rs1: r(1),
+                rs2: r(2),
+                target: top,
+            },
             OutcomeModel::Loop { trip: 10 },
         );
         for _ in 0..4 {
-            b.push(Op::AddImm { rd: r(3), rs1: r(3), imm: 1 });
+            b.push(Op::AddImm {
+                rd: r(3),
+                rs1: r(3),
+                imm: 1,
+            });
         }
         b.push(Op::Halt);
         let p = b.build().unwrap();
@@ -589,7 +623,11 @@ mod tests {
         let mut store = drive(&mut e, &p, 100);
         assert_eq!(e.stats().regions_started, 1);
         // The loop-exit region starts at the branch fall-through.
-        let key = TraceKey { start: Addr::new(2), branch_count: 0, outcomes: 0 };
+        let key = TraceKey {
+            start: Addr::new(2),
+            branch_count: 0,
+            outcomes: 0,
+        };
         assert!(store.fetch(key).hit);
     }
 
@@ -641,7 +679,11 @@ mod tests {
         for cycle in 0..50 {
             e.tick(cycle, false, &p, &mut ic, &bim, &mut store); // never idle
         }
-        assert_eq!(e.stats().lines_fetched, 0, "no fetches while slow path busy");
+        assert_eq!(
+            e.stats().lines_fetched,
+            0,
+            "no fetches while slow path busy"
+        );
         assert_eq!(e.stats().traces_built, 0);
     }
 
@@ -654,7 +696,11 @@ mod tests {
         });
         e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 1);
         let mut store = drive(&mut e, &p, 200);
-        let key = TraceKey { start: Addr::new(1), branch_count: 0, outcomes: 0 };
+        let key = TraceKey {
+            start: Addr::new(1),
+            branch_count: 0,
+            outcomes: 0,
+        };
         let f = store.fetch(key);
         assert!(f.hit, "trace built");
         assert!(f.preprocess.is_some());
@@ -671,7 +717,11 @@ mod tests {
         for cycle in 0..200 {
             e.tick(cycle, true, &p, &mut ic, &bim, &mut store);
         }
-        let key = TraceKey { start: Addr::new(1), branch_count: 0, outcomes: 0 };
+        let key = TraceKey {
+            start: Addr::new(1),
+            branch_count: 0,
+            outcomes: 0,
+        };
         assert!(store.fetch(key).hit, "built and promoted");
         // Second engine run with the trace now cached: the duplicate
         // check suppresses re-buffering.
@@ -682,6 +732,9 @@ mod tests {
         }
         assert!(e2.stats().traces_already_cached >= 1);
         let again = store.fetch(key);
-        assert!(again.hit && !again.from_precon, "supplied by the cache, not the buffers");
+        assert!(
+            again.hit && !again.from_precon,
+            "supplied by the cache, not the buffers"
+        );
     }
 }

@@ -27,6 +27,7 @@ pub mod constructor;
 pub mod engine;
 pub mod precon_buffer;
 pub mod preprocess;
+mod slots;
 pub mod start_stack;
 pub mod storage;
 pub mod trace;

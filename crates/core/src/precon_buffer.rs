@@ -1,5 +1,6 @@
 //! Preconstruction buffers (paper Section 3.1).
 
+use crate::slots::{probe_or_free, ProbeSlot};
 use crate::trace::Trace;
 use tpc_predict::TraceKey;
 
@@ -77,7 +78,10 @@ impl PreconBuffers {
                 stats: PreconStats::default(),
             };
         }
-        assert!(ways > 0 && entries.is_multiple_of(ways), "entries must divide by ways");
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "entries must divide by ways"
+        );
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         PreconBuffers {
@@ -146,26 +150,21 @@ impl PreconBuffers {
         }
         let key = trace.key();
         let range = self.set_range(key);
-
-        // Refresh an existing entry for the same identity.
-        for slot in &mut self.slots[range.clone()] {
-            if slot.as_ref().is_some_and(|s| s.trace.key() == key) {
-                *slot = Some(Slot { trace, region });
+        let set = &mut self.slots[range];
+        let ways = set.len();
+        // One pass: refresh an existing entry for the same identity,
+        // or claim a free way.
+        match probe_or_free(set, 0..ways, |s: &Slot| s.trace.key() == key) {
+            ProbeSlot::Match(i) | ProbeSlot::Free(i) => {
+                set[i] = Some(Slot { trace, region });
                 self.stats.fills += 1;
                 return true;
             }
-        }
-        // Free way?
-        for slot in &mut self.slots[range.clone()] {
-            if slot.is_none() {
-                *slot = Some(Slot { trace, region });
-                self.stats.fills += 1;
-                return true;
-            }
+            ProbeSlot::Evict => {}
         }
         // Displace the oldest-region victim, but only if it is
         // strictly older than the filling region.
-        let victim = self.slots[range]
+        let victim = set
             .iter_mut()
             .min_by_key(|s| s.as_ref().map(|s| s.region).unwrap_or(0))
             .expect("ways > 0");
@@ -189,10 +188,7 @@ impl PreconBuffers {
     /// Iterates over the resident traces and their region tags
     /// (diagnostics and trace-dump tooling).
     pub fn iter(&self) -> impl Iterator<Item = (&Trace, u64)> {
-        self.slots
-            .iter()
-            .flatten()
-            .map(|s| (&s.trace, s.region))
+        self.slots.iter().flatten().map(|s| (&s.trace, s.region))
     }
 
     /// Counters accumulated so far.
@@ -227,9 +223,31 @@ mod tests {
         let key = t.key();
         assert!(pb.fill(t, 1));
         assert!(pb.take(key).is_some());
-        assert!(pb.take(key).is_none(), "second take misses: entry invalidated");
+        assert!(
+            pb.take(key).is_none(),
+            "second take misses: entry invalidated"
+        );
         assert_eq!(pb.stats().hits, 1);
         assert_eq!(pb.stats().misses, 1);
+    }
+
+    #[test]
+    fn taken_trace_shares_storage_and_leaves_buffer_invalidated() {
+        // Zero-copy handoff: a hit hands back a refcount bump on the
+        // filled trace's instruction storage, and the buffer slot is
+        // gone — no clone of the instructions ever happens.
+        let mut pb = PreconBuffers::new(32);
+        let t = mk_trace(0);
+        let key = t.key();
+        let shadow = t.clone();
+        assert!(pb.fill(t, 1));
+        let taken = pb.take(key).expect("hit");
+        assert!(
+            taken.shares_storage_with(&shadow),
+            "take must return the same Arc-backed storage, not a copy"
+        );
+        assert!(!pb.contains(key), "slot invalidated by the take");
+        assert_eq!(pb.occupancy(), 0);
     }
 
     #[test]
@@ -251,7 +269,10 @@ mod tests {
         pb.fill(mk_trace(16), 2);
         assert!(pb.fill(mk_trace(32), 3), "region 3 displaces region 1");
         assert_eq!(pb.stats().evictions, 1);
-        assert!(!pb.contains(mk_trace(0).key()), "oldest region's trace gone");
+        assert!(
+            !pb.contains(mk_trace(0).key()),
+            "oldest region's trace gone"
+        );
     }
 
     #[test]
@@ -269,7 +290,10 @@ mod tests {
         pb.fill(mk_trace(0), 9); // refresh with newer region tag
         pb.fill(mk_trace(16), 5);
         // Victim selection must now treat the refreshed entry as region 9.
-        assert!(!pb.fill(mk_trace(32), 5), "no entry older than region 5 remains");
+        assert!(
+            !pb.fill(mk_trace(32), 5),
+            "no entry older than region 5 remains"
+        );
     }
 
     #[test]
@@ -290,6 +314,9 @@ mod tests {
                 stored += 1;
             }
         }
-        assert!(stored >= 12, "hashing spreads traces across sets: {stored}/16");
+        assert!(
+            stored >= 12,
+            "hashing spreads traces across sets: {stored}/16"
+        );
     }
 }

@@ -174,7 +174,9 @@ pub fn preprocess(trace: &Trace) -> PreprocessInfo {
             Op::And { rs1, rs2, .. } => Some(val(rs1)? & val(rs2)?),
             Op::Or { rs1, rs2, .. } => Some(val(rs1)? | val(rs2)?),
             Op::Xor { rs1, rs2, .. } => Some(val(rs1)? ^ val(rs2)?),
-            Op::Shl { rs1, shamt, .. } => Some((val(rs1)? as u64).wrapping_shl(shamt as u32) as i64),
+            Op::Shl { rs1, shamt, .. } => {
+                Some((val(rs1)? as u64).wrapping_shl(shamt as u32) as i64)
+            }
             Op::Shr { rs1, shamt, .. } => Some(((val(rs1)? as u64) >> shamt as u32) as i64),
             Op::AddImm { rs1, imm, .. } => Some(val(rs1)?.wrapping_add(imm as i64)),
             Op::Mul { rs1, rs2, .. } => Some(val(rs1)?.wrapping_mul(val(rs2)?)),
@@ -201,7 +203,13 @@ pub fn preprocess(trace: &Trace) -> PreprocessInfo {
     let mut deps: Vec<Vec<u8>> = raw
         .iter()
         .enumerate()
-        .map(|(i, d)| if const_folded[i] { Vec::new() } else { d.clone() })
+        .map(|(i, d)| {
+            if const_folded[i] {
+                Vec::new()
+            } else {
+                d.clone()
+            }
+        })
         .collect();
 
     // ---- combined-ALU collapsing ----------------------------------
@@ -212,15 +220,10 @@ pub fn preprocess(trace: &Trace) -> PreprocessInfo {
         }
         // Collapse with the producer on i's critical input if that
         // producer is simple and itself not collapsed or folded.
-        let candidate = deps[i]
-            .iter()
-            .copied()
-            .find(|&j| {
-                let j = j as usize;
-                is_simple_producer(&instrs[j].op)
-                    && collapsed[j].is_none()
-                    && !const_folded[j]
-            });
+        let candidate = deps[i].iter().copied().find(|&j| {
+            let j = j as usize;
+            is_simple_producer(&instrs[j].op) && collapsed[j].is_none() && !const_folded[j]
+        });
         if let Some(j) = candidate {
             collapsed[i] = Some(j);
             // i now waits on j's inputs, not on j.
@@ -246,15 +249,15 @@ pub fn preprocess(trace: &Trace) -> PreprocessInfo {
     let mut height = vec![0u32; n];
     for i in (0..n).rev() {
         let lat = latency::op_latency(instrs[i].op.class());
-        let tail = consumers[i].iter().map(|&c| height[c as usize]).max().unwrap_or(0);
+        let tail = consumers[i]
+            .iter()
+            .map(|&c| height[c as usize])
+            .max()
+            .unwrap_or(0);
         height[i] = lat + tail;
     }
     let mut schedule: Vec<u8> = (0..n as u8).collect();
-    schedule.sort_by(|&a, &b| {
-        height[b as usize]
-            .cmp(&height[a as usize])
-            .then(a.cmp(&b))
-    });
+    schedule.sort_by(|&a, &b| height[b as usize].cmp(&height[a as usize]).then(a.cmp(&b)));
 
     PreprocessInfo {
         deps,
@@ -293,9 +296,17 @@ mod tests {
     #[test]
     fn raw_deps_find_last_writer() {
         let t = mk_trace(&[
-            Op::LoadImm { rd: r(1), imm: 5 },                    // 0
-            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },           // 1: dep 0
-            Op::Add { rd: r(2), rs1: r(1), rs2: r(1) },           // 2: dep 1 (latest writer)
+            Op::LoadImm { rd: r(1), imm: 5 }, // 0
+            Op::AddImm {
+                rd: r(1),
+                rs1: r(1),
+                imm: 1,
+            }, // 1: dep 0
+            Op::Add {
+                rd: r(2),
+                rs1: r(1),
+                rs2: r(1),
+            }, // 2: dep 1 (latest writer)
         ]);
         let deps = trace_deps(&t);
         assert_eq!(deps[0], Vec::<u8>::new());
@@ -307,8 +318,16 @@ mod tests {
     fn constant_propagation_removes_dependences() {
         let t = mk_trace(&[
             Op::LoadImm { rd: r(1), imm: 5 },
-            Op::AddImm { rd: r(2), rs1: r(1), imm: 3 }, // 5+3 known
-            Op::Add { rd: r(3), rs1: r(2), rs2: r(1) }, // known too
+            Op::AddImm {
+                rd: r(2),
+                rs1: r(1),
+                imm: 3,
+            }, // 5+3 known
+            Op::Add {
+                rd: r(3),
+                rs1: r(2),
+                rs2: r(1),
+            }, // known too
         ]);
         let info = preprocess(&t);
         assert!(info.const_folded[1]);
@@ -321,9 +340,20 @@ mod tests {
     #[test]
     fn load_breaks_constant_chain() {
         let t = mk_trace(&[
-            Op::LoadImm { rd: r(1), imm: 0x40 },
-            Op::Load { rd: r(2), base: r(1), offset: 0 }, // runtime value
-            Op::AddImm { rd: r(3), rs1: r(2), imm: 1 },   // not foldable
+            Op::LoadImm {
+                rd: r(1),
+                imm: 0x40,
+            },
+            Op::Load {
+                rd: r(2),
+                base: r(1),
+                offset: 0,
+            }, // runtime value
+            Op::AddImm {
+                rd: r(3),
+                rs1: r(2),
+                imm: 1,
+            }, // not foldable
         ]);
         let info = preprocess(&t);
         assert!(!info.const_folded[2]);
@@ -333,9 +363,21 @@ mod tests {
     #[test]
     fn collapsing_fuses_dependent_alu_pair() {
         let t = mk_trace(&[
-            Op::Load { rd: r(1), base: r(9), offset: 0 }, // 0: runtime
-            Op::AddImm { rd: r(2), rs1: r(1), imm: 4 },   // 1: dep 0, simple producer
-            Op::Add { rd: r(3), rs1: r(2), rs2: r(8) },   // 2: dep 1 → collapse with 1
+            Op::Load {
+                rd: r(1),
+                base: r(9),
+                offset: 0,
+            }, // 0: runtime
+            Op::AddImm {
+                rd: r(2),
+                rs1: r(1),
+                imm: 4,
+            }, // 1: dep 0, simple producer
+            Op::Add {
+                rd: r(3),
+                rs1: r(2),
+                rs2: r(8),
+            }, // 2: dep 1 → collapse with 1
         ]);
         let info = preprocess(&t);
         assert_eq!(info.collapsed[2], Some(1));
@@ -347,10 +389,26 @@ mod tests {
     #[test]
     fn collapsing_does_not_chain() {
         let t = mk_trace(&[
-            Op::Load { rd: r(1), base: r(9), offset: 0 },
-            Op::AddImm { rd: r(2), rs1: r(1), imm: 4 },  // 1 collapses? it's a consumer of a load (not simple producer) → no
-            Op::AddImm { rd: r(3), rs1: r(2), imm: 4 },  // 2 collapses with 1
-            Op::AddImm { rd: r(4), rs1: r(3), imm: 4 },  // 3 cannot collapse with 2 (2 already collapsed)
+            Op::Load {
+                rd: r(1),
+                base: r(9),
+                offset: 0,
+            },
+            Op::AddImm {
+                rd: r(2),
+                rs1: r(1),
+                imm: 4,
+            }, // 1 collapses? it's a consumer of a load (not simple producer) → no
+            Op::AddImm {
+                rd: r(3),
+                rs1: r(2),
+                imm: 4,
+            }, // 2 collapses with 1
+            Op::AddImm {
+                rd: r(4),
+                rs1: r(3),
+                imm: 4,
+            }, // 3 cannot collapse with 2 (2 already collapsed)
         ]);
         let info = preprocess(&t);
         assert_eq!(info.collapsed[1], None, "load is not a simple producer");
@@ -361,10 +419,22 @@ mod tests {
     #[test]
     fn schedule_puts_critical_path_first() {
         let t = mk_trace(&[
-            Op::Load { rd: r(1), base: r(9), offset: 0 },  // 0 feeds a chain
-            Op::LoadImm { rd: r(5), imm: 1 },              // 1 independent
-            Op::Mul { rd: r(2), rs1: r(1), rs2: r(1) },    // 2 long chain
-            Op::Add { rd: r(3), rs1: r(2), rs2: r(2) },    // 3 chain end
+            Op::Load {
+                rd: r(1),
+                base: r(9),
+                offset: 0,
+            }, // 0 feeds a chain
+            Op::LoadImm { rd: r(5), imm: 1 }, // 1 independent
+            Op::Mul {
+                rd: r(2),
+                rs1: r(1),
+                rs2: r(1),
+            }, // 2 long chain
+            Op::Add {
+                rd: r(3),
+                rs1: r(2),
+                rs2: r(2),
+            }, // 3 chain end
         ]);
         let info = preprocess(&t);
         // Instruction 0 heads the longest chain → first in schedule.
@@ -378,8 +448,16 @@ mod tests {
     fn schedule_is_a_permutation() {
         let t = mk_trace(&[
             Op::LoadImm { rd: r(1), imm: 5 },
-            Op::Add { rd: r(2), rs1: r(1), rs2: r(1) },
-            Op::Load { rd: r(3), base: r(2), offset: 0 },
+            Op::Add {
+                rd: r(2),
+                rs1: r(1),
+                rs2: r(1),
+            },
+            Op::Load {
+                rd: r(3),
+                base: r(2),
+                offset: 0,
+            },
         ]);
         let info = preprocess(&t);
         let mut s = info.schedule.clone();
@@ -399,9 +477,15 @@ mod tests {
     #[test]
     fn call_return_address_is_a_constant() {
         let t = mk_trace(&[
-            Op::Call { target: Addr::new(2) },             // 0: writes LINK = 1
+            Op::Call {
+                target: Addr::new(2),
+            }, // 0: writes LINK = 1
             // (the builder follows the call; instruction at addr 2)
-            Op::AddImm { rd: r(4), rs1: Reg::LINK, imm: 0 }, // 1 at addr 2: foldable
+            Op::AddImm {
+                rd: r(4),
+                rs1: Reg::LINK,
+                imm: 0,
+            }, // 1 at addr 2: foldable
         ]);
         let info = preprocess(&t);
         assert!(info.const_folded[1]);

@@ -198,7 +198,9 @@ mod tests {
         }
         assert_eq!(st.len(), 4);
         // Address 1 (oldest) was discarded.
-        let addrs: Vec<u32> = std::iter::from_fn(|| st.pop()).map(|e| e.addr.word()).collect();
+        let addrs: Vec<u32> = std::iter::from_fn(|| st.pop())
+            .map(|e| e.addr.word())
+            .collect();
         assert_eq!(addrs, vec![5, 4, 3, 2]);
     }
 

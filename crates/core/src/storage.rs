@@ -15,8 +15,10 @@
 
 use crate::precon_buffer::PreconBuffers;
 use crate::preprocess::PreprocessInfo;
+use crate::slots::{probe_or_free, ProbeSlot};
 use crate::trace::Trace;
 use crate::trace_cache::TraceCache;
+use std::sync::Arc;
 use tpc_predict::TraceKey;
 
 /// Outcome of a processor-side fetch probe.
@@ -27,8 +29,10 @@ pub struct StoreFetch {
     /// Whether it was found on the preconstruction side (and has now
     /// been promoted into the trace-cache side).
     pub from_precon: bool,
-    /// Preprocessing annotations carried by the stored trace.
-    pub preprocess: Option<PreprocessInfo>,
+    /// Preprocessing annotations carried by the stored trace (shared
+    /// with it — handing them to the fetched instance is a refcount
+    /// bump).
+    pub preprocess: Option<Arc<PreprocessInfo>>,
 }
 
 impl StoreFetch {
@@ -142,12 +146,12 @@ impl TraceStore for SplitStore {
             return StoreFetch {
                 hit: true,
                 from_precon: false,
-                preprocess: t.preprocess_info().cloned(),
+                preprocess: t.preprocess_shared(),
             };
         }
         if let Some(t) = self.pb.take(key) {
             self.counters.precon_hits += 1;
-            let preprocess = t.preprocess_info().cloned();
+            let preprocess = t.preprocess_shared();
             self.tc.fill(t);
             return StoreFetch {
                 hit: true,
@@ -271,10 +275,16 @@ impl UnifiedStore {
     /// Panics if `entries` is not a multiple of 4 with a power-of-two
     /// set count, or `initial_pb_ways > 2`.
     pub fn new(config: UnifiedConfig) -> Self {
-        assert!(config.entries.is_multiple_of(4), "entries must be a multiple of 4");
+        assert!(
+            config.entries.is_multiple_of(4),
+            "entries must be a multiple of 4"
+        );
         let sets = config.entries / 4;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(config.initial_pb_ways <= 2, "at most half the ways for preconstruction");
+        assert!(
+            config.initial_pb_ways <= 2,
+            "at most half the ways for preconstruction"
+        );
         UnifiedStore {
             sets,
             slots: vec![None; config.entries as usize],
@@ -345,7 +355,7 @@ impl TraceStore for UnifiedStore {
                 result = StoreFetch {
                     hit: true,
                     from_precon,
-                    preprocess: s.trace.preprocess_info().cloned(),
+                    preprocess: s.trace.preprocess_shared(),
                 };
                 break;
             }
@@ -382,27 +392,30 @@ impl TraceStore for UnifiedStore {
         let key = trace.key();
         let range = self.set_range(key);
         let tc_ways = UNIFIED_WAYS - self.pb_ways as usize;
-        // Refresh an existing entry with the same identity.
-        for slot in &mut self.slots[range.clone()] {
-            if slot.as_ref().is_some_and(|s| s.trace.key() == key) {
-                *slot = Some(UnifiedSlot { trace, region: None, stamp: clock });
-                return;
-            }
-        }
         let slots = &mut self.slots[range];
-        // Free demand way?
-        for slot in slots[..tc_ways].iter_mut() {
-            if slot.is_none() {
-                *slot = Some(UnifiedSlot { trace, region: None, stamp: clock });
-                return;
+        // One pass: refresh the same identity anywhere in the set, or
+        // claim a free demand way.
+        match probe_or_free(slots, 0..tc_ways, |s: &UnifiedSlot| s.trace.key() == key) {
+            ProbeSlot::Match(i) | ProbeSlot::Free(i) => {
+                slots[i] = Some(UnifiedSlot {
+                    trace,
+                    region: None,
+                    stamp: clock,
+                });
+            }
+            ProbeSlot::Evict => {
+                // LRU among the demand ways.
+                let victim = slots[..tc_ways]
+                    .iter_mut()
+                    .min_by_key(|s| s.as_ref().map(|s| s.stamp).unwrap_or(0))
+                    .expect("tc_ways >= 2");
+                *victim = Some(UnifiedSlot {
+                    trace,
+                    region: None,
+                    stamp: clock,
+                });
             }
         }
-        // LRU among the demand ways.
-        let victim = slots[..tc_ways]
-            .iter_mut()
-            .min_by_key(|s| s.as_ref().map(|s| s.stamp).unwrap_or(0))
-            .expect("tc_ways >= 2");
-        *victim = Some(UnifiedSlot { trace, region: None, stamp: clock });
     }
 
     fn fill_precon(&mut self, trace: Trace, region: u64) -> bool {
@@ -415,33 +428,36 @@ impl TraceStore for UnifiedStore {
         let key = trace.key();
         let range = self.set_range(key);
         let tc_ways = UNIFIED_WAYS - self.pb_ways as usize;
-        // Refresh same identity anywhere.
-        for slot in &mut self.slots[range.clone()] {
-            if slot.as_ref().is_some_and(|s| s.trace.key() == key) {
-                *slot = Some(UnifiedSlot { trace, region: Some(region), stamp: clock });
-                self.counters.precon_fills += 1;
-                return true;
-            }
-        }
         let slots = &mut self.slots[range];
-        let pb_slots = &mut slots[tc_ways..];
-        // Free preconstruction way?
-        for slot in pb_slots.iter_mut() {
-            if slot.is_none() {
-                *slot = Some(UnifiedSlot { trace, region: Some(region), stamp: clock });
+        // One pass: refresh the same identity anywhere in the set, or
+        // claim a free preconstruction way.
+        match probe_or_free(slots, tc_ways..UNIFIED_WAYS, |s: &UnifiedSlot| {
+            s.trace.key() == key
+        }) {
+            ProbeSlot::Match(i) | ProbeSlot::Free(i) => {
+                slots[i] = Some(UnifiedSlot {
+                    trace,
+                    region: Some(region),
+                    stamp: clock,
+                });
                 self.counters.precon_fills += 1;
                 return true;
             }
+            ProbeSlot::Evict => {}
         }
         // Region-priority replacement (used demand entries that ended
         // up in a PB way after a repartition count as oldest).
-        let victim = pb_slots
+        let victim = slots[tc_ways..]
             .iter_mut()
             .min_by_key(|s| s.as_ref().and_then(|s| s.region).unwrap_or(0))
             .expect("pb_ways >= 1");
         let victim_region = victim.as_ref().and_then(|s| s.region).unwrap_or(0);
         if victim_region < region {
-            *victim = Some(UnifiedSlot { trace, region: Some(region), stamp: clock });
+            *victim = Some(UnifiedSlot {
+                trace,
+                region: Some(region),
+                stamp: clock,
+            });
             self.counters.precon_fills += 1;
             true
         } else {
@@ -556,7 +572,10 @@ mod tests {
         let t = mk_trace(0);
         let key = t.key();
         assert!(s.fill_precon(t, 3));
-        assert!(!s.contains_cached(key), "pending precon entries are not 'cached'");
+        assert!(
+            !s.contains_cached(key),
+            "pending precon entries are not 'cached'"
+        );
         let f = s.fetch(key);
         assert!(f.hit && f.from_precon);
         assert!(s.contains_cached(key), "promoted in place");
@@ -592,7 +611,10 @@ mod tests {
         for i in 1..=3 {
             s.fill_demand(mk_trace(i * 16));
         }
-        assert!(s.fetch(pre_key).hit, "precon entry survived demand pressure");
+        assert!(
+            s.fetch(pre_key).hit,
+            "precon entry survived demand pressure"
+        );
     }
 
     #[test]

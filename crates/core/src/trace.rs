@@ -1,5 +1,6 @@
 //! Traces and the shared trace-selection rules.
 
+use std::sync::Arc;
 use tpc_isa::{Addr, Op, OpClass};
 use tpc_predict::{TraceEnd, TraceKey};
 
@@ -41,14 +42,20 @@ pub enum TraceStop {
 /// address of the instruction that follows the trace along the path
 /// it encodes — the next trace's start point — when that address is
 /// statically known.
+///
+/// The instruction snapshot and preprocessing annotations live behind
+/// [`Arc`]s: cloning a trace — a trace-cache fill, a
+/// preconstruction-buffer promotion, a dispatch-stream handoff — is a
+/// refcount bump, mirroring hardware where these movements are wire
+/// transfers of the same lines, not fresh copies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
-    instrs: Vec<TraceInstr>,
+    instrs: Arc<[TraceInstr]>,
     key: TraceKey,
     end: TraceEnd,
     stop: TraceStop,
     successor: Option<Addr>,
-    preprocess: Option<crate::preprocess::PreprocessInfo>,
+    preprocess: Option<Arc<crate::preprocess::PreprocessInfo>>,
 }
 
 impl Trace {
@@ -104,13 +111,32 @@ impl Trace {
     /// Preprocessing annotations, when the trace went through the
     /// preprocessing pipeline (see [`mod@crate::preprocess`]).
     pub fn preprocess_info(&self) -> Option<&crate::preprocess::PreprocessInfo> {
-        self.preprocess.as_ref()
+        self.preprocess.as_deref()
+    }
+
+    /// Shared handle to the preprocessing annotations, for callers
+    /// that forward them to another trace instance without copying.
+    pub fn preprocess_shared(&self) -> Option<Arc<crate::preprocess::PreprocessInfo>> {
+        self.preprocess.clone()
     }
 
     /// Attaches preprocessing annotations (idempotent; later calls
     /// replace earlier ones).
     pub fn set_preprocess(&mut self, info: crate::preprocess::PreprocessInfo) {
+        self.preprocess = Some(Arc::new(info));
+    }
+
+    /// Attaches already-shared preprocessing annotations (a refcount
+    /// bump, used when a stored trace's annotations are carried over
+    /// to the fetched instance).
+    pub fn set_preprocess_arc(&mut self, info: Arc<crate::preprocess::PreprocessInfo>) {
         self.preprocess = Some(info);
+    }
+
+    /// Whether two trace instances share the same underlying
+    /// instruction storage (diagnostics for the zero-copy invariant).
+    pub fn shares_storage_with(&self, other: &Trace) -> bool {
+        Arc::ptr_eq(&self.instrs, &other.instrs)
     }
 }
 
@@ -269,7 +295,7 @@ impl TraceBuilder {
         } else {
             TraceEnd::Fallthrough
         };
-        let instrs = std::mem::take(&mut self.instrs);
+        let instrs: Arc<[TraceInstr]> = std::mem::take(&mut self.instrs).into();
         let key = TraceKey {
             start: instrs.first().expect("complete() only after a push").pc,
             branch_count: self.branch_count,
@@ -310,7 +336,11 @@ mod tests {
     }
 
     fn alu(dst: u8) -> Op {
-        Op::AddImm { rd: r(dst), rs1: r(dst), imm: 1 }
+        Op::AddImm {
+            rd: r(dst),
+            rs1: r(dst),
+            imm: 1,
+        }
     }
 
     fn push_alu(b: &mut TraceBuilder, pc: u32) -> PushResult {
@@ -360,7 +390,11 @@ mod tests {
     fn ends_at_indirect_jump() {
         let mut b = TraceBuilder::new(Addr::new(0));
         push_alu(&mut b, 0);
-        match b.push(Addr::new(1), Op::IndirectJump { rs1: r(4) }, Resolution::None) {
+        match b.push(
+            Addr::new(1),
+            Op::IndirectJump { rs1: r(4) },
+            Resolution::None,
+        ) {
             PushResult::Complete(t) => {
                 assert_eq!(t.stop(), TraceStop::IndirectJump);
                 assert_eq!(t.successor(), None);
@@ -379,8 +413,22 @@ mod tests {
             target: Addr::new(target),
         };
         // taken forward branch, then not-taken forward branch
-        b.push(Addr::new(0), fwd(0, 10), Resolution::Branch { taken: true, next_pc: Addr::new(10) });
-        b.push(Addr::new(10), fwd(10, 20), Resolution::Branch { taken: false, next_pc: Addr::new(11) });
+        b.push(
+            Addr::new(0),
+            fwd(0, 10),
+            Resolution::Branch {
+                taken: true,
+                next_pc: Addr::new(10),
+            },
+        );
+        b.push(
+            Addr::new(10),
+            fwd(10, 20),
+            Resolution::Branch {
+                taken: false,
+                next_pc: Addr::new(11),
+            },
+        );
         let t = match push_alu(&mut b, 11) {
             PushResult::Continue(_) => {
                 // Force completion by filling up.
@@ -416,7 +464,14 @@ mod tests {
             rs2: r(2),
             target: Addr::new(90),
         };
-        b.push(Addr::new(101), back, Resolution::Branch { taken: false, next_pc: Addr::new(102) });
+        b.push(
+            Addr::new(101),
+            back,
+            Resolution::Branch {
+                taken: false,
+                next_pc: Addr::new(102),
+            },
+        );
         // Four more instructions allowed; the fourth completes.
         assert!(matches!(push_alu(&mut b, 102), PushResult::Continue(_)));
         assert!(matches!(push_alu(&mut b, 103), PushResult::Continue(_)));
@@ -440,7 +495,14 @@ mod tests {
             rs2: r(2),
             target: Addr::new(100),
         };
-        b.push(Addr::new(0), fwd, Resolution::Branch { taken: false, next_pc: Addr::new(1) });
+        b.push(
+            Addr::new(0),
+            fwd,
+            Resolution::Branch {
+                taken: false,
+                next_pc: Addr::new(1),
+            },
+        );
         for pc in 1..15 {
             assert!(
                 matches!(push_alu(&mut b, pc), PushResult::Continue(_)),
@@ -460,7 +522,14 @@ mod tests {
             rs2: r(2),
             target: Addr::new(40),
         };
-        b.push(Addr::new(50), back, Resolution::Branch { taken: true, next_pc: Addr::new(40) });
+        b.push(
+            Addr::new(50),
+            back,
+            Resolution::Branch {
+                taken: true,
+                next_pc: Addr::new(40),
+            },
+        );
         for pc in 40..43 {
             assert!(matches!(push_alu(&mut b, pc), PushResult::Continue(_)));
         }
@@ -471,7 +540,13 @@ mod tests {
     fn trace_ending_in_call_reports_call_end() {
         let mut b = TraceBuilder::new(Addr::new(0));
         push_alu(&mut b, 0);
-        b.push(Addr::new(1), Op::Call { target: Addr::new(100) }, Resolution::None);
+        b.push(
+            Addr::new(1),
+            Op::Call {
+                target: Addr::new(100),
+            },
+            Resolution::None,
+        );
         // Fill to completion from the callee.
         let mut trace = None;
         for pc in 100..120 {
@@ -494,7 +569,14 @@ mod tests {
                 target: Addr::new(8),
             };
             let next = if taken { Addr::new(8) } else { Addr::new(1) };
-            b.push(Addr::new(0), fwd, Resolution::Branch { taken, next_pc: next });
+            b.push(
+                Addr::new(0),
+                fwd,
+                Resolution::Branch {
+                    taken,
+                    next_pc: next,
+                },
+            );
             let mut out = None;
             for pc in next.word()..next.word() + 20 {
                 if let PushResult::Complete(t) = push_alu(&mut b, pc) {

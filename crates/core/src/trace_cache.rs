@@ -1,8 +1,7 @@
 //! The trace cache.
 
+use crate::slots::{probe_or_free, ProbeSlot};
 use crate::trace::Trace;
-use std::collections::HashMap;
-use tpc_mem::{CacheGeometry, SetAssocCache};
 use tpc_predict::TraceKey;
 
 /// Counters kept by the trace cache.
@@ -18,9 +17,24 @@ pub struct TraceCacheStats {
     pub evictions: u64,
 }
 
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Full identity hash — the tag.
+    tag: u64,
+    /// LRU stamp from the cache's clock.
+    stamp: u64,
+    trace: Trace,
+}
+
 /// The 2-way set-associative trace cache (paper Section 4.1: 64 to
 /// 1024 entries, LRU replacement), indexed by a hash of the trace's
 /// start address and branch outcomes.
+///
+/// Traces live directly in the ways of a flat slot array (tag and
+/// payload side by side, as the hardware lays them out); a lookup is
+/// one set-index computation plus a tag compare per way, with no
+/// side map to keep in sync. Since [`Trace`] shares its instruction
+/// storage (`Arc`), a fill stores a refcount bump, not a copy.
 ///
 /// ```
 /// use tpc_core::{TraceCache, TraceBuilder, Resolution, PushResult};
@@ -38,8 +52,10 @@ pub struct TraceCacheStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TraceCache {
-    tags: SetAssocCache,
-    storage: HashMap<u64, Trace>,
+    ways: u32,
+    set_mask: u64,
+    slots: Vec<Option<Entry>>,
+    clock: u64,
     stats: TraceCacheStats,
 }
 
@@ -59,18 +75,33 @@ impl TraceCache {
     ///
     /// # Panics
     ///
-    /// Panics on invalid geometry (see [`CacheGeometry`]).
+    /// Panics if `entries` does not divide into a power-of-two number
+    /// of sets of `ways`.
     pub fn with_ways(entries: u32, ways: u32) -> Self {
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "entries must divide by ways"
+        );
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
         TraceCache {
-            tags: SetAssocCache::new(CacheGeometry::with_entries(entries, ways)),
-            storage: HashMap::with_capacity(entries as usize),
+            ways,
+            set_mask: sets as u64 - 1,
+            slots: vec![None; entries as usize],
+            clock: 0,
             stats: TraceCacheStats::default(),
         }
     }
 
     /// Total entry capacity.
     pub fn capacity(&self) -> u32 {
-        self.tags.geometry().entries()
+        self.slots.len() as u32
+    }
+
+    fn set_range(&self, tag: u64) -> std::ops::Range<usize> {
+        let set = (tag & self.set_mask) as usize;
+        let start = set * self.ways as usize;
+        start..start + self.ways as usize
     }
 
     /// Looks up a trace by identity, updating LRU state.
@@ -80,36 +111,73 @@ impl TraceCache {
     /// a tag mismatch would in hardware.
     pub fn lookup(&mut self, key: TraceKey) -> Option<&Trace> {
         self.stats.lookups += 1;
+        self.clock += 1;
+        let clock = self.clock;
         let h = key.hash64();
-        if self.tags.access(h) {
-            if let Some(t) = self.storage.get(&h) {
-                if t.key() == key {
-                    return Some(t);
+        let mut hit = None;
+        for i in self.set_range(h) {
+            if let Some(e) = &mut self.slots[i] {
+                if e.tag == h {
+                    // Tag match refreshes LRU even when the full key
+                    // then disagrees (hardware stamps on tag match).
+                    e.stamp = clock;
+                    if e.trace.key() == key {
+                        hit = Some(i);
+                    }
+                    break;
                 }
             }
         }
-        self.stats.misses += 1;
-        None
+        match hit {
+            Some(i) => Some(&self.slots[i].as_ref().expect("tag matched").trace),
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
     }
 
     /// Whether a trace with this identity is resident (no LRU
     /// update, no stats).
     pub fn contains(&self, key: TraceKey) -> bool {
         let h = key.hash64();
-        self.tags.probe(h) && self.storage.get(&h).is_some_and(|t| t.key() == key)
+        let range = self.set_range(h);
+        self.slots[range]
+            .iter()
+            .flatten()
+            .any(|e| e.tag == h && e.trace.key() == key)
     }
 
     /// Inserts a trace, evicting the set's LRU entry when full.
     pub fn fill(&mut self, trace: Trace) {
         self.stats.fills += 1;
+        self.clock += 1;
+        let clock = self.clock;
         let h = trace.key().hash64();
-        if let Some(evicted) = self.tags.fill(h) {
-            if evicted != h {
-                self.storage.remove(&evicted);
+        let range = self.set_range(h);
+        let set = &mut self.slots[range];
+        let ways = set.len();
+        match probe_or_free(set, 0..ways, |e: &Entry| e.tag == h) {
+            ProbeSlot::Match(i) | ProbeSlot::Free(i) => {
+                set[i] = Some(Entry {
+                    tag: h,
+                    stamp: clock,
+                    trace,
+                });
+            }
+            ProbeSlot::Evict => {
+                let victim = set
+                    .iter_mut()
+                    .min_by_key(|e| e.as_ref().map(|e| e.stamp).unwrap_or(0))
+                    .expect("ways > 0");
+                *victim = Some(Entry {
+                    tag: h,
+                    stamp: clock,
+                    trace,
+                });
                 self.stats.evictions += 1;
             }
         }
-        self.storage.insert(h, trace);
     }
 
     /// Counters accumulated so far.
@@ -125,7 +193,7 @@ impl TraceCache {
 
     /// Number of resident traces.
     pub fn occupancy(&self) -> usize {
-        self.tags.occupancy()
+        self.slots.iter().filter(|s| s.is_some()).count()
     }
 }
 
@@ -149,7 +217,10 @@ mod tests {
         b.push(
             Addr::new(start),
             branch,
-            Resolution::Branch { taken, next_pc: Addr::new(next) },
+            Resolution::Branch {
+                taken,
+                next_pc: Addr::new(next),
+            },
         );
         match b.push(Addr::new(next), Op::Return, Resolution::None) {
             PushResult::Complete(t) => t,
@@ -174,7 +245,10 @@ mod tests {
         let mut tc = TraceCache::new(64);
         tc.fill(mk_trace(0, true));
         let other = mk_trace(0, false).key();
-        assert!(tc.lookup(other).is_none(), "outcome bits are part of identity");
+        assert!(
+            tc.lookup(other).is_none(),
+            "outcome bits are part of identity"
+        );
     }
 
     #[test]
@@ -218,5 +292,34 @@ mod tests {
         tc.reset_stats();
         assert_eq!(tc.stats().fills, 0);
         assert!(tc.contains(key));
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recently_touched() {
+        let mut tc = TraceCache::new(2); // 1 set × 2 ways
+        let a = mk_trace(0, true);
+        let b = mk_trace(16, true);
+        let c = mk_trace(32, true);
+        let (ka, kb) = (a.key(), b.key());
+        tc.fill(a);
+        tc.fill(b);
+        tc.lookup(ka); // b becomes LRU
+        tc.fill(c);
+        assert!(tc.contains(ka));
+        assert!(!tc.contains(kb), "LRU way was evicted");
+        assert_eq!(tc.stats().evictions, 1);
+    }
+
+    #[test]
+    fn filled_trace_shares_storage_with_source() {
+        let mut tc = TraceCache::new(64);
+        let t = mk_trace(0, true);
+        let key = t.key();
+        tc.fill(t.clone());
+        let stored = tc.lookup(key).expect("resident");
+        assert!(
+            stored.shares_storage_with(&t),
+            "a fill must store a refcount bump, not a copy"
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Property tests over the trace builder: the selection rules hold
 //! for arbitrary instruction/outcome sequences.
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 use tpc_core::{PushResult, Resolution, TraceBuilder, TraceStop, ALIGN_QUANTUM, MAX_TRACE_LEN};

@@ -178,14 +178,16 @@ impl<'a> Executor<'a> {
                 self.write(rd, v);
             }
             Op::Load { rd, base, offset } => {
-                let ea = (self.read(base).wrapping_add(offset as i64) as u64)
-                    & DATA_FOOTPRINT_MASK;
+                let ea = (self.read(base).wrapping_add(offset as i64) as u64) & DATA_FOOTPRINT_MASK;
                 mem_addr = Some(ea);
                 self.write(rd, load_value(ea));
             }
-            Op::Store { src: _, base, offset } => {
-                let ea = (self.read(base).wrapping_add(offset as i64) as u64)
-                    & DATA_FOOTPRINT_MASK;
+            Op::Store {
+                src: _,
+                base,
+                offset,
+            } => {
+                let ea = (self.read(base).wrapping_add(offset as i64) as u64) & DATA_FOOTPRINT_MASK;
                 mem_addr = Some(ea);
             }
             Op::Branch { target, .. } => {
@@ -266,11 +268,24 @@ mod tests {
     /// addi r1, r0, 5 ; loop: addi r1, r1, -1 ; bne r1, r0, loop ; halt
     fn counted_loop(trip: u32) -> tpc_isa::Program {
         let mut b = ProgramBuilder::new();
-        b.push(Op::AddImm { rd: r(1), rs1: Reg::ZERO, imm: trip as i32 });
+        b.push(Op::AddImm {
+            rd: r(1),
+            rs1: Reg::ZERO,
+            imm: trip as i32,
+        });
         let top = b.here();
-        b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: -1 });
+        b.push(Op::AddImm {
+            rd: r(1),
+            rs1: r(1),
+            imm: -1,
+        });
         b.push_branch(
-            Op::Branch { cond: BranchCond::Ne, rs1: r(1), rs2: Reg::ZERO, target: top },
+            Op::Branch {
+                cond: BranchCond::Ne,
+                rs1: r(1),
+                rs2: Reg::ZERO,
+                target: top,
+            },
             OutcomeModel::Loop { trip },
         );
         b.push(Op::Halt);
@@ -313,7 +328,11 @@ mod tests {
         let call_at = b.push(Op::Nop); // patched below
         b.push(Op::Halt);
         let f = b.here();
-        b.push(Op::AddImm { rd: r(2), rs1: Reg::ZERO, imm: 1 });
+        b.push(Op::AddImm {
+            rd: r(2),
+            rs1: Reg::ZERO,
+            imm: 1,
+        });
         b.push(Op::Return);
         b.patch(call_at, Op::Call { target: f });
         let p = b.build().unwrap();
@@ -329,7 +348,9 @@ mod tests {
     #[test]
     fn link_register_written_by_call() {
         let mut b = ProgramBuilder::new();
-        b.push(Op::Call { target: Addr::new(2) });
+        b.push(Op::Call {
+            target: Addr::new(2),
+        });
         b.push(Op::Halt);
         b.push(Op::Return);
         let p = b.build().unwrap();
@@ -382,7 +403,11 @@ mod tests {
     #[test]
     fn zero_register_stays_zero() {
         let mut b = ProgramBuilder::new();
-        b.push(Op::AddImm { rd: Reg::ZERO, rs1: Reg::ZERO, imm: 99 });
+        b.push(Op::AddImm {
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            imm: 99,
+        });
         b.push(Op::Halt);
         let p = b.build().unwrap();
         let mut ex = Executor::new(&p);
@@ -393,9 +418,20 @@ mod tests {
     #[test]
     fn loads_and_stores_report_effective_addresses() {
         let mut b = ProgramBuilder::new();
-        b.push(Op::LoadImm { rd: r(1), imm: 0x100 });
-        b.push(Op::Load { rd: r(2), base: r(1), offset: 8 });
-        b.push(Op::Store { src: r(2), base: r(1), offset: 16 });
+        b.push(Op::LoadImm {
+            rd: r(1),
+            imm: 0x100,
+        });
+        b.push(Op::Load {
+            rd: r(2),
+            base: r(1),
+            offset: 8,
+        });
+        b.push(Op::Store {
+            src: r(2),
+            base: r(1),
+            offset: 16,
+        });
         b.push(Op::Halt);
         let p = b.build().unwrap();
         let seq: Vec<_> = Executor::new(&p).take(3).collect();
@@ -407,7 +443,11 @@ mod tests {
     fn division_by_zero_yields_zero() {
         let mut b = ProgramBuilder::new();
         b.push(Op::LoadImm { rd: r(1), imm: 10 });
-        b.push(Op::Div { rd: r(2), rs1: r(1), rs2: Reg::ZERO });
+        b.push(Op::Div {
+            rd: r(2),
+            rs1: r(1),
+            rs2: Reg::ZERO,
+        });
         b.push(Op::Halt);
         let p = b.build().unwrap();
         let mut ex = Executor::new(&p);

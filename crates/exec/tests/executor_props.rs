@@ -1,6 +1,7 @@
 //! Property test: the executor's ALU semantics agree with an
 //! independent reference interpreter on random straight-line
 //! programs.
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 use tpc_exec::Executor;
@@ -47,17 +48,57 @@ fn shapes() -> impl Strategy<Value = Vec<AluShape>> {
 fn to_op(s: AluShape) -> Op {
     let r = Reg::new;
     match s {
-        AluShape::Add(a, b, c) => Op::Add { rd: r(a), rs1: r(b), rs2: r(c) },
-        AluShape::Sub(a, b, c) => Op::Sub { rd: r(a), rs1: r(b), rs2: r(c) },
-        AluShape::And(a, b, c) => Op::And { rd: r(a), rs1: r(b), rs2: r(c) },
-        AluShape::Or(a, b, c) => Op::Or { rd: r(a), rs1: r(b), rs2: r(c) },
-        AluShape::Xor(a, b, c) => Op::Xor { rd: r(a), rs1: r(b), rs2: r(c) },
-        AluShape::Shl(a, b, s) => Op::Shl { rd: r(a), rs1: r(b), shamt: s },
-        AluShape::Shr(a, b, s) => Op::Shr { rd: r(a), rs1: r(b), shamt: s },
-        AluShape::AddImm(a, b, i) => Op::AddImm { rd: r(a), rs1: r(b), imm: i },
+        AluShape::Add(a, b, c) => Op::Add {
+            rd: r(a),
+            rs1: r(b),
+            rs2: r(c),
+        },
+        AluShape::Sub(a, b, c) => Op::Sub {
+            rd: r(a),
+            rs1: r(b),
+            rs2: r(c),
+        },
+        AluShape::And(a, b, c) => Op::And {
+            rd: r(a),
+            rs1: r(b),
+            rs2: r(c),
+        },
+        AluShape::Or(a, b, c) => Op::Or {
+            rd: r(a),
+            rs1: r(b),
+            rs2: r(c),
+        },
+        AluShape::Xor(a, b, c) => Op::Xor {
+            rd: r(a),
+            rs1: r(b),
+            rs2: r(c),
+        },
+        AluShape::Shl(a, b, s) => Op::Shl {
+            rd: r(a),
+            rs1: r(b),
+            shamt: s,
+        },
+        AluShape::Shr(a, b, s) => Op::Shr {
+            rd: r(a),
+            rs1: r(b),
+            shamt: s,
+        },
+        AluShape::AddImm(a, b, i) => Op::AddImm {
+            rd: r(a),
+            rs1: r(b),
+            imm: i,
+        },
         AluShape::LoadImm(a, i) => Op::LoadImm { rd: r(a), imm: i },
-        AluShape::Mul(a, b, c) => Op::Mul { rd: r(a), rs1: r(b), rs2: r(c) },
-        AluShape::Div(a, b, c) => Op::Div { rd: r(a), rs1: r(b), rs2: r(c) },
+        AluShape::Mul(a, b, c) => Op::Mul {
+            rd: r(a),
+            rs1: r(b),
+            rs2: r(c),
+        },
+        AluShape::Div(a, b, c) => Op::Div {
+            rd: r(a),
+            rs1: r(b),
+            rs2: r(c),
+        },
     }
 }
 
@@ -113,7 +154,11 @@ fn reference(shapes: &[AluShape]) -> [i64; 32] {
             }
             AluShape::Div(a, b, c) => {
                 let d = regs[c as usize];
-                let v = if d == 0 { 0 } else { regs[b as usize].wrapping_div(d) };
+                let v = if d == 0 {
+                    0
+                } else {
+                    regs[b as usize].wrapping_div(d)
+                };
                 write(&mut regs, a, v)
             }
         }

@@ -9,7 +9,7 @@
 //! * the constructors' decision-stack depth (path-forking budget).
 
 use crate::report::{f1, f2, markdown_table};
-use crate::runner::{simulate, simulate_many, RunParams};
+use crate::runner::{simulate_many, RunParams};
 use tpc_core::EngineConfig;
 use tpc_processor::SimConfig;
 use tpc_workloads::Benchmark;
@@ -34,16 +34,36 @@ fn precon_config(mutate: impl FnOnce(&mut EngineConfig)) -> SimConfig {
 }
 
 /// Runs all ablations on one benchmark (gcc by default in the
-/// binary: the largest working set).
+/// binary: the largest working set). All knob × value cells are
+/// assembled into a single sweep so they fan out together.
 pub fn run(benchmark: Benchmark, params: RunParams) -> Vec<AblationRow> {
+    type Sweep = (&'static str, &'static [u32], fn(u32) -> SimConfig);
+    let sweeps: [Sweep; 4] = [
+        ("stack_depth", &[1, 4, 16, 64], |v| {
+            precon_config(|e| e.stack_depth = v as usize)
+        }),
+        ("constructors", &[1, 2, 4, 8], |v| {
+            precon_config(|e| e.constructors = v as usize)
+        }),
+        ("prefetch_capacity", &[64, 128, 256, 1024], |v| {
+            precon_config(|e| e.prefetch_capacity = v)
+        }),
+        ("decision_depth", &[0, 1, 3, 6], |v| {
+            precon_config(|e| e.decision_depth = v as usize)
+        }),
+    ];
+
+    let configs: Vec<SimConfig> = sweeps
+        .iter()
+        .flat_map(|&(_, values, make)| values.iter().map(move |&v| make(v)))
+        .collect();
+    let stats = simulate_many(benchmark, &configs, params);
+
     let mut rows = Vec::new();
-    let sweep = |knob: &'static str,
-                     values: &[u32],
-                     rows: &mut Vec<AblationRow>,
-                     make: fn(u32) -> SimConfig| {
-        let configs: Vec<SimConfig> = values.iter().map(|&v| make(v)).collect();
-        let stats = simulate_many(benchmark, &configs, params);
-        for (&v, s) in values.iter().zip(&stats) {
+    let mut it = stats.iter();
+    for &(knob, values, _) in &sweeps {
+        for &v in values {
+            let s = it.next().expect("one result per config");
             rows.push(AblationRow {
                 knob,
                 value: v,
@@ -52,20 +72,7 @@ pub fn run(benchmark: Benchmark, params: RunParams) -> Vec<AblationRow> {
                     / s.retired_instructions.max(1) as f64,
             });
         }
-    };
-
-    sweep("stack_depth", &[1, 4, 16, 64], &mut rows, |v| {
-        precon_config(|e| e.stack_depth = v as usize)
-    });
-    sweep("constructors", &[1, 2, 4, 8], &mut rows, |v| {
-        precon_config(|e| e.constructors = v as usize)
-    });
-    sweep("prefetch_capacity", &[64, 128, 256, 1024], &mut rows, |v| {
-        precon_config(|e| e.prefetch_capacity = v)
-    });
-    sweep("decision_depth", &[0, 1, 3, 6], &mut rows, |v| {
-        precon_config(|e| e.decision_depth = v as usize)
-    });
+    }
     rows
 }
 
@@ -92,22 +99,25 @@ pub fn dynamic_split(benchmark: Benchmark, params: RunParams) -> Vec<DynamicSpli
         c.engine.enabled = true;
         c
     };
-    let configs: Vec<(&'static str, SimConfig)> = vec![
+    let labeled: Vec<(&'static str, SimConfig)> = vec![
         ("all trace cache (no precon)", SimConfig::baseline(total)),
-        ("static split 128+128", SimConfig::with_precon(total / 2, total / 2)),
+        (
+            "static split 128+128",
+            SimConfig::with_precon(total / 2, total / 2),
+        ),
         ("unified, 1/4 ways fixed", unified(1, 0)),
         ("unified, 2/4 ways fixed", unified(2, 0)),
         ("unified, adaptive", unified(1, 4096)),
     ];
-    configs
+    let configs: Vec<SimConfig> = labeled.iter().map(|(_, c)| c.clone()).collect();
+    let stats = simulate_many(benchmark, &configs, params);
+    labeled
         .into_iter()
-        .map(|(label, config)| {
-            let s = simulate(benchmark, config, params);
-            DynamicSplitRow {
-                label,
-                misses_per_kilo: s.tc_misses_per_kilo(),
-                ipc: s.ipc(),
-            }
+        .zip(stats)
+        .map(|((label, _), s)| DynamicSplitRow {
+            label,
+            misses_per_kilo: s.tc_misses_per_kilo(),
+            ipc: s.ipc(),
         })
         .collect()
 }
@@ -119,7 +129,10 @@ pub fn render_dynamic_split(benchmark: Benchmark, rows: &[DynamicSplitRow]) -> S
         .iter()
         .map(|r| vec![r.label.to_string(), f1(r.misses_per_kilo), f2(r.ipc)])
         .collect();
-    out.push_str(&markdown_table(&["organization", "misses/1k", "IPC"], &table));
+    out.push_str(&markdown_table(
+        &["organization", "misses/1k", "IPC"],
+        &table,
+    ));
     out
 }
 
@@ -141,10 +154,7 @@ pub fn render(benchmark: Benchmark, rows: &[AblationRow]) -> String {
                 ]
             })
             .collect();
-        out.push_str(&markdown_table(
-            &[knob, "misses/1k", "PB hits/1k"],
-            &table,
-        ));
+        out.push_str(&markdown_table(&[knob, "misses/1k", "PB hits/1k"], &table));
     }
     out
 }

@@ -14,9 +14,11 @@
 //! unforked weak branch steers the whole rest of the region down a
 //! single (often wrong) subtree, not just one trace.
 
+use crate::par_sweep::{effective_jobs, par_map, run_cells, SweepCell};
 use crate::report::{f1, markdown_table};
 use crate::runner::RunParams;
-use tpc_processor::{SimConfig, Simulator};
+use std::sync::Arc;
+use tpc_processor::SimConfig;
 use tpc_workloads::{Benchmark, WorkloadBuilder};
 
 /// One sweep point.
@@ -58,40 +60,57 @@ fn reduction(base: f64, precon: f64) -> f64 {
 pub const BIAS_POINTS: [u32; 5] = [300, 500, 700, 850, 950];
 
 /// Sweeps the strongly-biased branch fraction over a gcc-shaped
-/// workload, measuring the equal-area preconstruction benefit.
+/// workload, measuring the equal-area preconstruction benefit. Each
+/// bias point builds its own program, so workload generation and the
+/// 3 simulations per point all fan out across `params.jobs` threads.
 pub fn run(params: RunParams) -> Vec<BiasRow> {
-    BIAS_POINTS
-        .iter()
-        .map(|&strong_permille| {
+    let mut no_fork_cfg = SimConfig::with_precon(128, 128);
+    no_fork_cfg.engine.decision_depth = 0;
+    let configs = [
+        SimConfig::baseline(256),
+        SimConfig::with_precon(128, 128),
+        no_fork_cfg,
+    ];
+
+    let programs = par_map(
+        &BIAS_POINTS,
+        effective_jobs(params.jobs),
+        |&strong_permille| {
             let mut profile = Benchmark::Gcc.profile();
             profile.strongly_biased_permille = strong_permille;
-            let program =
+            Arc::new(
                 WorkloadBuilder::from_profile(format!("bias-{strong_permille}"), profile)
                     .seed(params.seed)
-                    .build();
-            let mut base = Simulator::new(&program, SimConfig::baseline(256));
-            let sb = base.run_with_warmup(params.warmup, params.measure);
-            let mut pre = Simulator::new(&program, SimConfig::with_precon(128, 128));
-            let sp = pre.run_with_warmup(params.warmup, params.measure);
-            let mut no_fork_cfg = SimConfig::with_precon(128, 128);
-            no_fork_cfg.engine.decision_depth = 0;
-            let mut no_fork = Simulator::new(&program, no_fork_cfg);
-            let snf = no_fork.run_with_warmup(params.warmup, params.measure);
-            BiasRow {
-                strong_permille,
-                base_misses: sb.tc_misses_per_kilo(),
-                precon_misses: sp.tc_misses_per_kilo(),
-                precon_no_fork_misses: snf.tc_misses_per_kilo(),
-            }
+                    .build(),
+            )
+        },
+    );
+    let cells: Vec<SweepCell> = programs
+        .iter()
+        .flat_map(|program| {
+            configs
+                .iter()
+                .map(|config| SweepCell::new(program.clone(), config.clone()))
+        })
+        .collect();
+    let stats = run_cells(&cells, params);
+
+    BIAS_POINTS
+        .iter()
+        .zip(stats.chunks(configs.len()))
+        .map(|(&strong_permille, point)| BiasRow {
+            strong_permille,
+            base_misses: point[0].tc_misses_per_kilo(),
+            precon_misses: point[1].tc_misses_per_kilo(),
+            precon_no_fork_misses: point[2].tc_misses_per_kilo(),
         })
         .collect()
 }
 
 /// Renders the sweep.
 pub fn render(rows: &[BiasRow]) -> String {
-    let mut out = String::from(
-        "\n### Bias sensitivity (gcc-shaped workload, 256 TC vs 128+128)\n\n",
-    );
+    let mut out =
+        String::from("\n### Bias sensitivity (gcc-shaped workload, 256 TC vs 128+128)\n\n");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -137,7 +156,7 @@ mod tests {
         let rows = run(RunParams {
             warmup: 100_000,
             measure: 200_000,
-            seed: 1,
+            ..RunParams::default()
         });
         for r in &rows {
             assert!(

@@ -4,7 +4,10 @@
 //! Usage: `cargo run -p tpc-experiments --release --bin all --
 //! [--warmup N] [--measure N] [--seed N] [--quick]`
 
-use tpc_experiments::{ablations, bias_sweep, cpi_stack, fig5, fig6, fig8, predictors, tables, workload_stats, RunParams};
+use tpc_experiments::{
+    ablations, bias_sweep, cpi_stack, fig5, fig6, fig8, predictors, tables, workload_stats,
+    RunParams,
+};
 use tpc_workloads::Benchmark;
 
 fn main() {
@@ -16,7 +19,7 @@ fn main() {
     println!("run parameters: {params:?}\n");
 
     println!("## Workload characterization");
-    let rows = workload_stats::run(&Benchmark::ALL, params.measure, params.seed);
+    let rows = workload_stats::run(&Benchmark::ALL, params.measure, params);
     print!("{}", workload_stats::render(&rows, params.measure));
 
     println!("\n## Figure 5 — trace-cache miss rates");

@@ -1,0 +1,128 @@
+//! Simulator throughput benchmark: the repo's perf-trajectory data
+//! point.
+//!
+//! Two measurements, written to `BENCH_sim.json` (std-only JSON, no
+//! serde):
+//!
+//! 1. **Per-config throughput** — wall time and simulated
+//!    instructions per second for each standard configuration on one
+//!    benchmark, run serially. This tracks the per-cycle hot path
+//!    (the zero-copy trace storage work shows up here).
+//! 2. **Sweep speedup** — wall time for a 4-benchmark × 2-config grid
+//!    with `--jobs 1` versus `--jobs 4`, plus a bit-identity check
+//!    between the two runs. This tracks the parallel sweep executor.
+//!
+//! Usage: `bench_throughput [--quick] [--warmup N] [--measure N]
+//! [--seed N]`. `--quick` shrinks the windows for CI smoke runs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use tpc_experiments::{simulate, sweep_grid, RunParams};
+use tpc_processor::SimConfig;
+use tpc_workloads::Benchmark;
+
+/// The standard configurations tracked over time.
+fn standard_configs() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("baseline_256", SimConfig::baseline(256)),
+        ("precon_128_128", SimConfig::with_precon(128, 128)),
+        (
+            "combined",
+            SimConfig::with_precon(128, 128).with_preprocess(),
+        ),
+    ]
+}
+
+/// Benchmarks used for the parallel-sweep speedup measurement.
+const SWEEP_BENCHMARKS: [Benchmark; 4] = [
+    Benchmark::Compress,
+    Benchmark::Gcc,
+    Benchmark::Go,
+    Benchmark::Vortex,
+];
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let params = RunParams::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("bench_throughput: {e}");
+        std::process::exit(2);
+    });
+    let simulated = params.warmup + params.measure;
+
+    // 1. Per-config hot-path throughput (serial, one benchmark).
+    let mut config_entries = Vec::new();
+    for (name, config) in standard_configs() {
+        let t = Instant::now();
+        let stats = simulate(Benchmark::Gcc, config, params);
+        let secs = t.elapsed().as_secs_f64();
+        let ips = simulated as f64 / secs.max(1e-9);
+        println!(
+            "{name:16} gcc  {:>8.1} ms  {:>12.0} sim instr/s  (IPC {:.2})",
+            secs * 1e3,
+            ips,
+            stats.ipc()
+        );
+        let mut e = String::new();
+        write!(
+            e,
+            "    {{\"config\": \"{name}\", \"benchmark\": \"gcc\", \
+             \"wall_ms\": {}, \"sim_instr_per_sec\": {}, \"ipc\": {}}}",
+            json_f(secs * 1e3),
+            json_f(ips),
+            json_f(stats.ipc())
+        )
+        .unwrap();
+        config_entries.push(e);
+    }
+
+    // 2. Parallel sweep speedup: the same grid at jobs=1 and jobs=4.
+    let grid_configs = [SimConfig::baseline(256), SimConfig::with_precon(128, 128)];
+    let run_grid = |jobs: u64| {
+        let p = RunParams { jobs, ..params };
+        let t = Instant::now();
+        let grid = sweep_grid(&SWEEP_BENCHMARKS, &grid_configs, p);
+        (t.elapsed().as_secs_f64(), grid)
+    };
+    let (serial_secs, serial_grid) = run_grid(1);
+    let (parallel_secs, parallel_grid) = run_grid(4);
+    let identical = serial_grid == parallel_grid;
+    let speedup = serial_secs / parallel_secs.max(1e-9);
+    let cells = SWEEP_BENCHMARKS.len() * grid_configs.len();
+    println!(
+        "sweep {cells} cells: jobs=1 {:.1} ms, jobs=4 {:.1} ms, speedup {:.2}x, identical: {identical}",
+        serial_secs * 1e3,
+        parallel_secs * 1e3,
+        speedup
+    );
+    if !identical {
+        eprintln!("bench_throughput: parallel sweep diverged from serial results");
+        std::process::exit(1);
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"warmup\": {},\n  \"measure\": {},\n  \"seed\": {},\n  \"cores\": {cores},\n  \
+         \"configs\": [\n{}\n  ],\n  \"sweep\": {{\"cells\": {cells}, \
+         \"jobs1_wall_ms\": {}, \"jobs4_wall_ms\": {}, \"speedup\": {}, \
+         \"identical\": {identical}}}\n}}\n",
+        params.warmup,
+        params.measure,
+        params.seed,
+        config_entries.join(",\n"),
+        json_f(serial_secs * 1e3),
+        json_f(parallel_secs * 1e3),
+        json_f(speedup),
+    );
+    std::fs::write("BENCH_sim.json", &json).unwrap_or_else(|e| {
+        eprintln!("bench_throughput: cannot write BENCH_sim.json: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote BENCH_sim.json");
+}

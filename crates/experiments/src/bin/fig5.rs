@@ -12,7 +12,10 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    eprintln!("fig5: sweeping {} configs x 8 benchmarks ({params:?})", fig5::configs().len());
+    eprintln!(
+        "fig5: sweeping {} configs x 8 benchmarks ({params:?})",
+        fig5::configs().len()
+    );
     let rows = fig5::run(&Benchmark::ALL, params);
     print!("{}", fig5::render(&rows));
 }

@@ -12,6 +12,6 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    let rows = workload_stats::run(&Benchmark::ALL, params.measure, params.seed);
+    let rows = workload_stats::run(&Benchmark::ALL, params.measure, params);
     print!("{}", workload_stats::render(&rows, params.measure));
 }

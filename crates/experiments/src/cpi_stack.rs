@@ -6,10 +6,11 @@
 //! retirement keeps up with a faster frontend. The stacks make both
 //! visible directly instead of inferring them from IPC deltas.
 
+use crate::par_sweep::sweep_grid;
 use crate::report::markdown_table;
 use crate::runner::RunParams;
-use tpc_processor::{FrontendBreakdown, SimConfig, Simulator};
-use tpc_workloads::{Benchmark, WorkloadBuilder};
+use tpc_processor::{FrontendBreakdown, SimConfig};
+use tpc_workloads::Benchmark;
 
 /// One configuration's cycle stack.
 #[derive(Debug, Clone)]
@@ -29,18 +30,21 @@ fn configs() -> Vec<(&'static str, SimConfig)> {
     vec![
         ("baseline 256", SimConfig::baseline(256)),
         ("precon 128+128", SimConfig::with_precon(128, 128)),
-        ("combined", SimConfig::with_precon(128, 128).with_preprocess()),
+        (
+            "combined",
+            SimConfig::with_precon(128, 128).with_preprocess(),
+        ),
     ]
 }
 
 /// Measures cycle stacks for the given benchmarks.
 pub fn run(benchmarks: &[Benchmark], params: RunParams) -> Vec<StackRow> {
+    let labeled = configs();
+    let sim_configs: Vec<SimConfig> = labeled.iter().map(|(_, c)| c.clone()).collect();
+    let grid = sweep_grid(benchmarks, &sim_configs, params);
     let mut rows = Vec::new();
-    for &benchmark in benchmarks {
-        let program = WorkloadBuilder::new(benchmark).seed(params.seed).build();
-        for (label, config) in configs() {
-            let mut sim = Simulator::new(&program, config);
-            let s = sim.run_with_warmup(params.warmup, params.measure);
+    for (&benchmark, stats) in benchmarks.iter().zip(&grid) {
+        for ((label, _), s) in labeled.iter().zip(stats) {
             rows.push(StackRow {
                 benchmark,
                 config: label,
@@ -54,9 +58,7 @@ pub fn run(benchmarks: &[Benchmark], params: RunParams) -> Vec<StackRow> {
 
 /// Renders the stacks (one row per benchmark × configuration).
 pub fn render(rows: &[StackRow]) -> String {
-    let mut out = String::from(
-        "\n### Frontend cycle stacks (fraction of all cycles, ‰)\n\n",
-    );
+    let mut out = String::from("\n### Frontend cycle stacks (fraction of all cycles, ‰)\n\n");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -73,7 +75,15 @@ pub fn render(rows: &[StackRow]) -> String {
         })
         .collect();
     out.push_str(&markdown_table(
-        &["benchmark", "config", "dispatch", "slow build", "mispredict", "PE full", "IPC"],
+        &[
+            "benchmark",
+            "config",
+            "dispatch",
+            "slow build",
+            "mispredict",
+            "PE full",
+            "IPC",
+        ],
         &table,
     ));
     out
@@ -96,7 +106,11 @@ mod tests {
     fn precon_shrinks_slow_build_share() {
         let rows = run(
             &[Benchmark::Gcc],
-            RunParams { warmup: 80_000, measure: 150_000, seed: 1 },
+            RunParams {
+                warmup: 80_000,
+                measure: 150_000,
+                ..RunParams::default()
+            },
         );
         let slow_share = |label: &str| {
             rows.iter()

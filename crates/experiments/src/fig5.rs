@@ -8,8 +8,9 @@
 //! cache with the paper's smallest (32) and largest (256) buffers,
 //! plus the equal-split points used for the equal-area comparison.
 
-use crate::runner::{simulate_many, RunParams};
+use crate::par_sweep::sweep_grid;
 use crate::report::{f1, markdown_table};
+use crate::runner::RunParams;
 use tpc_processor::SimConfig;
 use tpc_workloads::Benchmark;
 
@@ -54,7 +55,8 @@ pub fn configs() -> Vec<(u32, u32)> {
     v
 }
 
-/// Runs the Figure 5 sweep for the given benchmarks.
+/// Runs the Figure 5 sweep for the given benchmarks. All benchmark ×
+/// shape cells fan out together across `params.jobs` threads.
 pub fn run(benchmarks: &[Benchmark], params: RunParams) -> Vec<Fig5Row> {
     let mut rows = Vec::new();
     let shapes = configs();
@@ -62,9 +64,9 @@ pub fn run(benchmarks: &[Benchmark], params: RunParams) -> Vec<Fig5Row> {
         .iter()
         .map(|&(tc, pb)| SimConfig::with_precon(tc, pb))
         .collect();
-    for &benchmark in benchmarks {
-        let stats = simulate_many(benchmark, &sim_configs, params);
-        for (&(tc, pb), s) in shapes.iter().zip(&stats) {
+    let grid = sweep_grid(benchmarks, &sim_configs, params);
+    for (&benchmark, stats) in benchmarks.iter().zip(&grid) {
+        for (&(tc, pb), s) in shapes.iter().zip(stats) {
             rows.push(Fig5Row {
                 benchmark,
                 tc_entries: tc,
@@ -100,7 +102,13 @@ pub fn render(rows: &[Fig5Row]) -> String {
             })
             .collect();
         out.push_str(&markdown_table(
-            &["TC entries", "PB entries", "combined", "misses/1k", "PB hits/1k"],
+            &[
+                "TC entries",
+                "PB entries",
+                "combined",
+                "misses/1k",
+                "PB hits/1k",
+            ],
             &table,
         ));
     }

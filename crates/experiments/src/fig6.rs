@@ -6,8 +6,9 @@
 //! `S/2` entries, at several total sizes. The paper reports 3–10 %
 //! for gcc, go, perl and vortex.
 
+use crate::par_sweep::sweep_grid;
 use crate::report::{f2, markdown_table, pct};
-use crate::runner::{simulate_many, RunParams};
+use crate::runner::RunParams;
 use tpc_processor::SimConfig;
 use tpc_workloads::Benchmark;
 
@@ -42,8 +43,8 @@ pub fn run(benchmarks: &[Benchmark], params: RunParams) -> Vec<Fig6Row> {
         configs.push(SimConfig::with_precon(total / 2, total / 2));
     }
     let mut rows = Vec::new();
-    for &benchmark in benchmarks {
-        let stats = simulate_many(benchmark, &configs, params);
+    let grid = sweep_grid(benchmarks, &configs, params);
+    for (&benchmark, stats) in benchmarks.iter().zip(&grid) {
         for (i, &total) in TOTAL_SIZES.iter().enumerate() {
             rows.push(Fig6Row {
                 benchmark,
@@ -74,7 +75,13 @@ pub fn render(rows: &[Fig6Row]) -> String {
         "\n### Figure 6 — speedup from preconstruction (equal-area: TC/2 + PB/2 vs TC)\n\n",
     );
     out.push_str(&markdown_table(
-        &["benchmark", "total entries", "baseline IPC", "precon IPC", "speedup"],
+        &[
+            "benchmark",
+            "total entries",
+            "baseline IPC",
+            "precon IPC",
+            "speedup",
+        ],
         &table,
     ));
     out

@@ -14,8 +14,9 @@
 //! the parts — raising backend throughput (preprocessing) makes the
 //! frontend the bottleneck, which preconstruction then relieves.
 
+use crate::par_sweep::sweep_grid;
 use crate::report::{markdown_table, pct};
-use crate::runner::{simulate_many, RunParams};
+use crate::runner::RunParams;
 use tpc_processor::SimConfig;
 use tpc_workloads::Benchmark;
 
@@ -58,10 +59,11 @@ pub fn run(benchmarks: &[Benchmark], params: RunParams) -> Vec<Fig8Row> {
         SimConfig::baseline(BASE_TC).with_preprocess(),
         SimConfig::with_precon(SPLIT, SPLIT).with_preprocess(),
     ];
+    let grid = sweep_grid(benchmarks, &configs, params);
     benchmarks
         .iter()
-        .map(|&benchmark| {
-            let stats = simulate_many(benchmark, &configs, params);
+        .zip(grid)
+        .map(|(&benchmark, stats)| {
             let base = stats[0].ipc();
             Fig8Row {
                 benchmark,
@@ -88,15 +90,20 @@ pub fn render(rows: &[Fig8Row]) -> String {
             ]
         })
         .collect();
-    let mut out =
-        String::from("\n### Figure 8 — extended pipeline model (base: 256-entry TC)\n\n");
+    let mut out = String::from("\n### Figure 8 — extended pipeline model (base: 256-entry TC)\n\n");
     out.push_str(&markdown_table(
-        &["benchmark", "precon", "preprocess", "combined", "sum of parts", "combined > sum"],
+        &[
+            "benchmark",
+            "precon",
+            "preprocess",
+            "combined",
+            "sum of parts",
+            "combined > sum",
+        ],
         &table,
     ));
     if !rows.is_empty() {
-        let avg =
-            rows.iter().map(|r| r.combined).sum::<f64>() / rows.len() as f64;
+        let avg = rows.iter().map(|r| r.combined).sum::<f64>() / rows.len() as f64;
         out.push_str(&format!("\naverage combined speedup: {}\n", pct(avg)));
     }
     out

@@ -23,10 +23,12 @@ pub mod cpi_stack;
 pub mod fig5;
 pub mod fig6;
 pub mod fig8;
+pub mod par_sweep;
 pub mod predictors;
 pub mod report;
 pub mod runner;
 pub mod tables;
 pub mod workload_stats;
 
-pub use runner::{simulate, RunParams};
+pub use par_sweep::{par_map, run_cells, sweep_grid, SweepCell};
+pub use runner::{simulate, simulate_many, RunParams};

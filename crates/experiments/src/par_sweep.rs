@@ -1,0 +1,199 @@
+//! Parallel fan-out of sweep cells across cores.
+//!
+//! Every evaluation artifact (Figures 5/6/8, Tables 1–3, the
+//! ablations) is a benchmark × configuration grid of mutually
+//! independent simulations. This module runs such grids on scoped
+//! worker threads (`std::thread::scope` — no external dependencies),
+//! with two invariants:
+//!
+//! * **determinism** — each cell's simulation is self-contained and
+//!   seeded, and results are collected in input order, so a sweep's
+//!   output is byte-identical whatever the thread count (including
+//!   `jobs = 1`, which runs inline);
+//! * **sharing, not copying** — a benchmark's generated [`Program`]
+//!   is built once and shared across all of its cells via [`Arc`].
+//!
+//! Workers pull cell indices from a shared atomic counter, so uneven
+//! cell costs (a 1024-entry unified store vs a 64-entry baseline)
+//! load-balance naturally.
+
+use crate::runner::RunParams;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use tpc_isa::Program;
+use tpc_processor::{SimConfig, SimStats, Simulator};
+use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+/// Resolves a `--jobs` request to a worker count: `0` means "one per
+/// available core".
+pub fn effective_jobs(requested: u64) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested as usize
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads.
+///
+/// Results are returned in input order regardless of completion
+/// order. `jobs <= 1` (or a single item) runs inline on the calling
+/// thread — no spawn, identical results.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the sweep is aborted).
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        produced.push((i, f(&items[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, r) in worker.join().expect("sweep worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was claimed by exactly one worker"))
+        .collect()
+}
+
+/// One cell of a sweep: a shared program under one configuration.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// The generated workload, shared across every cell that
+    /// simulates it.
+    pub program: Arc<Program>,
+    /// The configuration to simulate it under.
+    pub config: SimConfig,
+}
+
+impl SweepCell {
+    /// Creates a cell.
+    pub fn new(program: Arc<Program>, config: SimConfig) -> Self {
+        SweepCell { program, config }
+    }
+}
+
+/// Runs every cell with `params`' warm-up/measure window, fanning out
+/// across `params.jobs` threads. Results are in cell order.
+pub fn run_cells(cells: &[SweepCell], params: RunParams) -> Vec<SimStats> {
+    par_map(cells, effective_jobs(params.jobs), |cell| {
+        let mut sim = Simulator::new(&cell.program, cell.config.clone());
+        sim.run_with_warmup(params.warmup, params.measure)
+    })
+}
+
+/// Generates each benchmark's program once (itself in parallel) and
+/// crosses it with every configuration: the full grid, benchmark-
+/// major. `result[b][c]` is benchmark `b` under configuration `c`.
+pub fn sweep_grid(
+    benchmarks: &[Benchmark],
+    configs: &[SimConfig],
+    params: RunParams,
+) -> Vec<Vec<SimStats>> {
+    let jobs = effective_jobs(params.jobs);
+    let programs: Vec<Arc<Program>> = par_map(benchmarks, jobs, |&b| {
+        Arc::new(WorkloadBuilder::new(b).seed(params.seed).build())
+    });
+    let cells: Vec<SweepCell> = programs
+        .iter()
+        .flat_map(|p| {
+            configs
+                .iter()
+                .map(|c| SweepCell::new(Arc::clone(p), c.clone()))
+        })
+        .collect();
+    let stats = run_cells(&cells, params);
+    stats
+        .chunks(configs.len().max(1))
+        .map(<[SimStats]>::to_vec)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..40).collect();
+        // Skew per-item cost so completion order differs from input
+        // order.
+        let f = |&x: &u64| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * x
+        };
+        let serial = par_map(&items, 1, f);
+        let parallel = par_map(&items, 4, f);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[13], 169);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 8, |&x| x).is_empty());
+        assert_eq!(par_map(&[5u32], 8, |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn effective_jobs_zero_is_auto() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn grid_shape_is_benchmark_major() {
+        let params = RunParams {
+            warmup: 2_000,
+            measure: 4_000,
+            ..RunParams::quick()
+        };
+        let configs = [SimConfig::baseline(64), SimConfig::with_precon(64, 32)];
+        let grid = sweep_grid(&[Benchmark::Compress, Benchmark::Li], &configs, params);
+        assert_eq!(grid.len(), 2);
+        assert!(grid.iter().all(|per_bench| per_bench.len() == 2));
+        assert!(grid[0][0].retired_instructions >= 4_000);
+    }
+
+    #[test]
+    fn cells_share_one_program_per_benchmark() {
+        let program = Arc::new(WorkloadBuilder::new(Benchmark::Compress).seed(1).build());
+        let cells = [
+            SweepCell::new(Arc::clone(&program), SimConfig::baseline(64)),
+            SweepCell::new(Arc::clone(&program), SimConfig::baseline(128)),
+        ];
+        assert!(Arc::ptr_eq(&cells[0].program, &cells[1].program));
+    }
+}

@@ -1,10 +1,11 @@
 //! Predictor accuracy characterization (supporting data, in the
 //! spirit of the next-trace-predictor paper the frontend builds on).
 
+use crate::par_sweep::sweep_grid;
 use crate::report::{f1, markdown_table};
 use crate::runner::RunParams;
-use tpc_processor::{SimConfig, Simulator};
-use tpc_workloads::{Benchmark, WorkloadBuilder};
+use tpc_processor::SimConfig;
+use tpc_workloads::Benchmark;
 
 /// Accuracy numbers for one benchmark.
 #[derive(Debug, Clone)]
@@ -24,12 +25,13 @@ pub struct PredictorRow {
 /// Measures predictor behaviour under the default preconstruction
 /// configuration.
 pub fn run(benchmarks: &[Benchmark], params: RunParams) -> Vec<PredictorRow> {
+    let configs = [SimConfig::with_precon(256, 256)];
+    let grid = sweep_grid(benchmarks, &configs, params);
     benchmarks
         .iter()
-        .map(|&benchmark| {
-            let program = WorkloadBuilder::new(benchmark).seed(params.seed).build();
-            let mut sim = Simulator::new(&program, SimConfig::with_precon(256, 256));
-            let s = sim.run_with_warmup(params.warmup, params.measure);
+        .zip(grid)
+        .map(|(&benchmark, stats)| {
+            let s = &stats[0];
             let (_, _, mispredict, _) = s.frontend.permille();
             PredictorRow {
                 benchmark,
@@ -58,7 +60,12 @@ pub fn render(rows: &[PredictorRow]) -> String {
         })
         .collect();
     out.push_str(&markdown_table(
-        &["benchmark", "NTP accuracy", "slow-path repairs/1k", "mispredict cycles"],
+        &[
+            "benchmark",
+            "NTP accuracy",
+            "slow-path repairs/1k",
+            "mispredict cycles",
+        ],
         &table,
     ));
     out
@@ -70,10 +77,7 @@ mod tests {
 
     #[test]
     fn accuracy_bounded_and_ordered() {
-        let rows = run(
-            &[Benchmark::Compress, Benchmark::Go],
-            RunParams::quick(),
-        );
+        let rows = run(&[Benchmark::Compress, Benchmark::Go], RunParams::quick());
         for r in &rows {
             assert!(r.ntp_accuracy >= 0.0 && r.ntp_accuracy <= 100.0);
         }

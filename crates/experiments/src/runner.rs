@@ -17,6 +17,10 @@ pub struct RunParams {
     pub measure: u64,
     /// Workload generation seed.
     pub seed: u64,
+    /// Worker threads for sweeps (0 = one per available core).
+    /// Results are identical whatever the value — it only sets how
+    /// many cells run concurrently.
+    pub jobs: u64,
 }
 
 impl Default for RunParams {
@@ -25,6 +29,7 @@ impl Default for RunParams {
             warmup: 200_000,
             measure: 500_000,
             seed: 1,
+            jobs: 0,
         }
     }
 }
@@ -36,11 +41,13 @@ impl RunParams {
             warmup: 40_000,
             measure: 80_000,
             seed: 1,
+            jobs: 0,
         }
     }
 
-    /// Parses `--warmup N`, `--measure N`, `--seed N`, `--quick`
-    /// from a binary's command line, starting from defaults.
+    /// Parses `--warmup N`, `--measure N`, `--seed N`, `--jobs N`,
+    /// `--quick` from a binary's command line, starting from
+    /// defaults.
     ///
     /// # Errors
     ///
@@ -63,14 +70,16 @@ impl RunParams {
                 "--warmup" => numeric(&mut params.warmup)?,
                 "--measure" => numeric(&mut params.measure)?,
                 "--seed" => numeric(&mut params.seed)?,
+                "--jobs" => numeric(&mut params.jobs)?,
                 "--quick" => {
-                    let seed = params.seed;
+                    let (seed, jobs) = (params.seed, params.jobs);
                     params = RunParams::quick();
                     params.seed = seed;
+                    params.jobs = jobs;
                 }
                 other => {
                     return Err(format!(
-                        "unknown flag {other} (expected --warmup/--measure/--seed/--quick)"
+                        "unknown flag {other} (expected --warmup/--measure/--seed/--jobs/--quick)"
                     ))
                 }
             }
@@ -87,21 +96,18 @@ pub fn simulate(benchmark: Benchmark, config: SimConfig, params: RunParams) -> S
     sim.run_with_warmup(params.warmup, params.measure)
 }
 
-/// Runs several configurations over the *same* generated program
-/// (saves regeneration time in sweeps).
+/// Runs several configurations over the *same* generated program,
+/// shared across `params.jobs` worker threads (see
+/// [`crate::par_sweep`]); results are in configuration order and
+/// independent of the thread count.
 pub fn simulate_many(
     benchmark: Benchmark,
     configs: &[SimConfig],
     params: RunParams,
 ) -> Vec<SimStats> {
-    let program = WorkloadBuilder::new(benchmark).seed(params.seed).build();
-    configs
-        .iter()
-        .map(|c| {
-            let mut sim = Simulator::new(&program, c.clone());
-            sim.run_with_warmup(params.warmup, params.measure)
-        })
-        .collect()
+    crate::par_sweep::sweep_grid(&[benchmark], configs, params)
+        .pop()
+        .unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -147,7 +153,11 @@ mod tests {
         let s = simulate(
             Benchmark::Compress,
             SimConfig::baseline(128),
-            RunParams { warmup: 5_000, measure: 10_000, seed: 1 },
+            RunParams {
+                warmup: 5_000,
+                measure: 10_000,
+                ..RunParams::default()
+            },
         );
         assert!(s.retired_instructions >= 10_000);
         assert!(s.retired_instructions < 12_000, "window respected");

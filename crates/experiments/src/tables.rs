@@ -14,8 +14,9 @@
 //!   instructions (drops: the engine prefetches lines the slow path
 //!   later hits).
 
+use crate::par_sweep::sweep_grid;
 use crate::report::{f1, markdown_table};
-use crate::runner::{simulate_many, RunParams};
+use crate::runner::RunParams;
 use tpc_processor::{SimConfig, SimStats};
 use tpc_workloads::Benchmark;
 
@@ -44,10 +45,11 @@ pub fn run(benchmarks: &[Benchmark], params: RunParams) -> Vec<TablesRow> {
         SimConfig::baseline(BASELINE_TC),
         SimConfig::with_precon(PRECON_TC, PRECON_PB),
     ];
+    let grid = sweep_grid(benchmarks, &configs, params);
     benchmarks
         .iter()
-        .map(|&benchmark| {
-            let mut stats = simulate_many(benchmark, &configs, params);
+        .zip(grid)
+        .map(|(&benchmark, mut stats)| {
             let precon = stats.pop().expect("two configs");
             let baseline = stats.pop().expect("two configs");
             TablesRow {

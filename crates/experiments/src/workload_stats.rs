@@ -7,7 +7,9 @@
 //! static instruction appears in several dynamic traces); measuring
 //! it per benchmark grounds the Figure 5 calibration.
 
+use crate::par_sweep::{effective_jobs, par_map};
 use crate::report::{f1, markdown_table};
+use crate::runner::RunParams;
 use std::collections::HashSet;
 use tpc_isa::OpClass;
 use tpc_processor::TraceStream;
@@ -48,50 +50,49 @@ impl WorkloadRow {
 }
 
 /// Characterizes each benchmark over `window` dynamic instructions.
-pub fn run(benchmarks: &[Benchmark], window: u64, seed: u64) -> Vec<WorkloadRow> {
-    benchmarks
-        .iter()
-        .map(|&benchmark| {
-            let program = WorkloadBuilder::new(benchmark).seed(seed).build();
-            let sstats = static_stats(&program);
-            let mut stream = TraceStream::new(&program);
-            let mut touched = HashSet::new();
-            let mut traces = HashSet::new();
-            let mut trace_count = 0u64;
-            let mut branches = 0u64;
-            let mut taken = 0u64;
-            let mut calls = 0u64;
-            while stream.retired() < window {
-                let dt = stream.next_trace();
-                traces.insert(dt.trace.key());
-                trace_count += 1;
-                for ti in dt.trace.instrs() {
-                    touched.insert(ti.pc);
-                    if ti.op.class() == OpClass::Call { calls += 1 }
+/// Benchmarks fan out across `params.jobs` threads; each stream walk
+/// is independent, so the rows come back in benchmark order.
+pub fn run(benchmarks: &[Benchmark], window: u64, params: RunParams) -> Vec<WorkloadRow> {
+    par_map(benchmarks, effective_jobs(params.jobs), |&benchmark| {
+        let program = WorkloadBuilder::new(benchmark).seed(params.seed).build();
+        let sstats = static_stats(&program);
+        let mut stream = TraceStream::new(&program);
+        let mut touched = HashSet::new();
+        let mut traces = HashSet::new();
+        let mut trace_count = 0u64;
+        let mut branches = 0u64;
+        let mut taken = 0u64;
+        let mut calls = 0u64;
+        while stream.retired() < window {
+            let dt = stream.next_trace();
+            traces.insert(dt.trace.key());
+            trace_count += 1;
+            for ti in dt.trace.instrs() {
+                touched.insert(ti.pc);
+                if ti.op.class() == OpClass::Call {
+                    calls += 1
                 }
-                branches += dt.branch_outcomes.len() as u64;
-                taken += dt.branch_outcomes.iter().filter(|&&t| t).count() as u64;
             }
-            let retired = stream.retired();
-            WorkloadRow {
-                benchmark,
-                static_instructions: sstats.instructions,
-                touched_instructions: touched.len() as u32,
-                unique_traces: traces.len() as u32,
-                avg_trace_len: retired as f64 / trace_count.max(1) as f64,
-                branches_per_kilo: branches as f64 * 1000.0 / retired.max(1) as f64,
-                taken_permille: (taken * 1000 / branches.max(1)) as u32,
-                calls_per_kilo: calls as f64 * 1000.0 / retired.max(1) as f64,
-            }
-        })
-        .collect()
+            branches += dt.branch_outcomes.len() as u64;
+            taken += dt.branch_outcomes.iter().filter(|&&t| t).count() as u64;
+        }
+        let retired = stream.retired();
+        WorkloadRow {
+            benchmark,
+            static_instructions: sstats.instructions,
+            touched_instructions: touched.len() as u32,
+            unique_traces: traces.len() as u32,
+            avg_trace_len: retired as f64 / trace_count.max(1) as f64,
+            branches_per_kilo: branches as f64 * 1000.0 / retired.max(1) as f64,
+            taken_permille: (taken * 1000 / branches.max(1)) as u32,
+            calls_per_kilo: calls as f64 * 1000.0 / retired.max(1) as f64,
+        }
+    })
 }
 
 /// Renders the characterization table.
 pub fn render(rows: &[WorkloadRow], window: u64) -> String {
-    let mut out = format!(
-        "\n### Workload characterization ({window} dynamic instructions)\n\n"
-    );
+    let mut out = format!("\n### Workload characterization ({window} dynamic instructions)\n\n");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -129,9 +130,16 @@ pub fn render(rows: &[WorkloadRow], window: u64) -> String {
 mod tests {
     use super::*;
 
+    fn seeded(seed: u64) -> RunParams {
+        RunParams {
+            seed,
+            ..RunParams::default()
+        }
+    }
+
     #[test]
     fn characterizes_small_benchmark() {
-        let rows = run(&[Benchmark::Compress], 20_000, 1);
+        let rows = run(&[Benchmark::Compress], 20_000, seeded(1));
         assert_eq!(rows.len(), 1);
         let r = &rows[0];
         assert!(r.unique_traces > 0);
@@ -143,7 +151,7 @@ mod tests {
     fn trace_working_set_exceeds_code_working_set() {
         // The paper's premise: trace entries needed exceed the static
         // footprint, for the branchy benchmarks.
-        let rows = run(&[Benchmark::Go], 100_000, 1);
+        let rows = run(&[Benchmark::Go], 100_000, seeded(1));
         assert!(
             rows[0].expansion_factor() > 1.0,
             "go expansion {:.2}",
@@ -153,7 +161,7 @@ mod tests {
 
     #[test]
     fn go_expands_more_than_vortex() {
-        let rows = run(&[Benchmark::Go, Benchmark::Vortex], 100_000, 1);
+        let rows = run(&[Benchmark::Go, Benchmark::Vortex], 100_000, seeded(1));
         assert!(
             rows[0].expansion_factor() > rows[1].expansion_factor(),
             "weak biases expand the trace working set: go {:.2} vs vortex {:.2}",
@@ -164,7 +172,7 @@ mod tests {
 
     #[test]
     fn render_has_all_columns() {
-        let rows = run(&[Benchmark::Compress], 10_000, 1);
+        let rows = run(&[Benchmark::Compress], 10_000, seeded(1));
         let text = render(&rows, 10_000);
         assert!(text.contains("expansion"));
         assert!(text.contains("compress"));

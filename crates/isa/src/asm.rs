@@ -154,20 +154,24 @@ fn parse_branch_model(annot: &str, line: usize) -> Result<OutcomeModel, AsmError
         if parts.len() != 2 {
             return err(line, "expected @bias(NUM/DENOM)");
         }
-        let num: u32 = parts[0]
-            .trim()
-            .parse()
-            .map_err(|_| AsmError { line, message: format!("bad numerator {:?}", parts[0]) })?;
-        let denom: u32 = parts[1]
-            .trim()
-            .parse()
-            .map_err(|_| AsmError { line, message: format!("bad denominator {:?}", parts[1]) })?;
+        let num: u32 = parts[0].trim().parse().map_err(|_| AsmError {
+            line,
+            message: format!("bad numerator {:?}", parts[0]),
+        })?;
+        let denom: u32 = parts[1].trim().parse().map_err(|_| AsmError {
+            line,
+            message: format!("bad denominator {:?}", parts[1]),
+        })?;
         if denom == 0 || num > denom {
             return err(line, "bias must satisfy 0 <= NUM <= DENOM, DENOM > 0");
         }
         // Seed derives from the source line so distinct branches get
         // distinct, reproducible streams.
-        return Ok(OutcomeModel::Biased { num, denom, seed: line as u64 });
+        return Ok(OutcomeModel::Biased {
+            num,
+            denom,
+            seed: line as u64,
+        });
     }
     if let Some(rest) = annot.strip_prefix("@pattern(") {
         let Some(bits) = rest.strip_suffix(')') else {
@@ -192,7 +196,10 @@ fn parse_branch_model(annot: &str, line: usize) -> Result<OutcomeModel, AsmError
 fn parse_targets(annot: &str, line: usize) -> Result<Vec<(String, u32)>, AsmError> {
     let annot = annot.trim();
     let Some(rest) = annot.strip_prefix("@targets(") else {
-        return err(line, format!("indirect jump needs @targets(...), found {annot:?}"));
+        return err(
+            line,
+            format!("indirect jump needs @targets(...), found {annot:?}"),
+        );
     };
     let Some(list) = rest.strip_suffix(')') else {
         return err(line, "unclosed @targets(");
@@ -205,10 +212,10 @@ fn parse_targets(annot: &str, line: usize) -> Result<Vec<(String, u32)>, AsmErro
         }
         match item.split_once(':') {
             Some((name, w)) => {
-                let weight: u32 = w
-                    .trim()
-                    .parse()
-                    .map_err(|_| AsmError { line, message: format!("bad weight {w:?}") })?;
+                let weight: u32 = w.trim().parse().map_err(|_| AsmError {
+                    line,
+                    message: format!("bad weight {w:?}"),
+                })?;
                 out.push((name.trim().to_string(), weight));
             }
             None => out.push((item.to_string(), 1)),
@@ -286,13 +293,34 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         };
 
         let pending = match mnemonic {
-            "add" => { let (rd, rs1, rs2) = three_regs(line)?; Pending::Ready(Op::Add { rd, rs1, rs2 }) }
-            "sub" => { let (rd, rs1, rs2) = three_regs(line)?; Pending::Ready(Op::Sub { rd, rs1, rs2 }) }
-            "and" => { let (rd, rs1, rs2) = three_regs(line)?; Pending::Ready(Op::And { rd, rs1, rs2 }) }
-            "or" => { let (rd, rs1, rs2) = three_regs(line)?; Pending::Ready(Op::Or { rd, rs1, rs2 }) }
-            "xor" => { let (rd, rs1, rs2) = three_regs(line)?; Pending::Ready(Op::Xor { rd, rs1, rs2 }) }
-            "mul" => { let (rd, rs1, rs2) = three_regs(line)?; Pending::Ready(Op::Mul { rd, rs1, rs2 }) }
-            "div" => { let (rd, rs1, rs2) = three_regs(line)?; Pending::Ready(Op::Div { rd, rs1, rs2 }) }
+            "add" => {
+                let (rd, rs1, rs2) = three_regs(line)?;
+                Pending::Ready(Op::Add { rd, rs1, rs2 })
+            }
+            "sub" => {
+                let (rd, rs1, rs2) = three_regs(line)?;
+                Pending::Ready(Op::Sub { rd, rs1, rs2 })
+            }
+            "and" => {
+                let (rd, rs1, rs2) = three_regs(line)?;
+                Pending::Ready(Op::And { rd, rs1, rs2 })
+            }
+            "or" => {
+                let (rd, rs1, rs2) = three_regs(line)?;
+                Pending::Ready(Op::Or { rd, rs1, rs2 })
+            }
+            "xor" => {
+                let (rd, rs1, rs2) = three_regs(line)?;
+                Pending::Ready(Op::Xor { rd, rs1, rs2 })
+            }
+            "mul" => {
+                let (rd, rs1, rs2) = three_regs(line)?;
+                Pending::Ready(Op::Mul { rd, rs1, rs2 })
+            }
+            "div" => {
+                let (rd, rs1, rs2) = three_regs(line)?;
+                Pending::Ready(Op::Div { rd, rs1, rs2 })
+            }
             "shl" | "shr" => {
                 let rd = parse_reg(nth(0)?, line)?;
                 let rs1 = parse_reg(nth(1)?, line)?;
@@ -344,8 +372,12 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                     model: parse_branch_model(annot, line)?,
                 }
             }
-            "jmp" => Pending::Jump { target: nth(0)?.to_string() },
-            "jal" | "call" => Pending::Call { target: nth(0)?.to_string() },
+            "jmp" => Pending::Jump {
+                target: nth(0)?.to_string(),
+            },
+            "jal" | "call" => Pending::Call {
+                target: nth(0)?.to_string(),
+            },
             "ret" => Pending::Ready(Op::Return),
             "jr" => {
                 let Some(annot) = annot else {
@@ -366,10 +398,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
 
     // Resolve labels and emit.
     let resolve = |name: &str, line: usize| -> Result<Addr, AsmError> {
-        labels
-            .get(name)
-            .copied()
-            .ok_or_else(|| AsmError { line, message: format!("unknown label {name:?}") })
+        labels.get(name).copied().ok_or_else(|| AsmError {
+            line,
+            message: format!("unknown label {name:?}"),
+        })
     };
     let mut b = ProgramBuilder::new();
     for (line, pending) in pendings {
@@ -377,9 +409,23 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             Pending::Ready(op) => {
                 b.push(op);
             }
-            Pending::Branch { cond, rs1, rs2, target, model } => {
+            Pending::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+                model,
+            } => {
                 let target = resolve(&target, line)?;
-                b.push_branch(Op::Branch { cond, rs1, rs2, target }, model);
+                b.push_branch(
+                    Op::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        target,
+                    },
+                    model,
+                );
             }
             Pending::Jump { target } => {
                 let target = resolve(&target, line)?;
@@ -446,7 +492,12 @@ mod tests {
                    halt",
         )
         .unwrap();
-        assert_eq!(p.fetch(Addr::new(0)), Some(&Op::Jump { target: Addr::new(2) }));
+        assert_eq!(
+            p.fetch(Addr::new(0)),
+            Some(&Op::Jump {
+                target: Addr::new(2)
+            })
+        );
         match p.fetch(Addr::new(2)) {
             Some(Op::Branch { target, .. }) => assert_eq!(*target, Addr::new(1)),
             other => panic!("{other:?}"),
@@ -481,11 +532,19 @@ mod tests {
         .unwrap();
         assert_eq!(
             p.fetch(Addr::new(0)),
-            Some(&Op::Load { rd: Reg::new(2), base: Reg::new(1), offset: 8 })
+            Some(&Op::Load {
+                rd: Reg::new(2),
+                base: Reg::new(1),
+                offset: 8
+            })
         );
         assert_eq!(
             p.fetch(Addr::new(1)),
-            Some(&Op::Store { src: Reg::new(2), base: Reg::new(3), offset: -16 })
+            Some(&Op::Store {
+                src: Reg::new(2),
+                base: Reg::new(3),
+                offset: -16
+            })
         );
     }
 
@@ -501,14 +560,27 @@ mod tests {
         .unwrap();
         assert!(matches!(
             p.branch_model(Addr::new(0)),
-            Some(OutcomeModel::Biased { num: 3, denom: 10, .. })
+            Some(OutcomeModel::Biased {
+                num: 3,
+                denom: 10,
+                ..
+            })
         ));
         assert!(matches!(
             p.branch_model(Addr::new(1)),
-            Some(OutcomeModel::Pattern { bits: 0b101, len: 3 })
+            Some(OutcomeModel::Pattern {
+                bits: 0b101,
+                len: 3
+            })
         ));
-        assert_eq!(p.branch_model(Addr::new(2)), Some(&OutcomeModel::AlwaysTaken));
-        assert_eq!(p.branch_model(Addr::new(3)), Some(&OutcomeModel::NeverTaken));
+        assert_eq!(
+            p.branch_model(Addr::new(2)),
+            Some(&OutcomeModel::AlwaysTaken)
+        );
+        assert_eq!(
+            p.branch_model(Addr::new(3)),
+            Some(&OutcomeModel::NeverTaken)
+        );
     }
 
     #[test]
@@ -593,10 +665,20 @@ mod tests {
     #[test]
     fn hex_immediates() {
         let p = assemble("main: li r1, 0x40\naddi r2, r1, -0x10\nhalt").unwrap();
-        assert_eq!(p.fetch(Addr::new(0)), Some(&Op::LoadImm { rd: Reg::new(1), imm: 64 }));
+        assert_eq!(
+            p.fetch(Addr::new(0)),
+            Some(&Op::LoadImm {
+                rd: Reg::new(1),
+                imm: 64
+            })
+        );
         assert_eq!(
             p.fetch(Addr::new(1)),
-            Some(&Op::AddImm { rd: Reg::new(2), rs1: Reg::new(1), imm: -16 })
+            Some(&Op::AddImm {
+                rd: Reg::new(2),
+                rs1: Reg::new(1),
+                imm: -16
+            })
         );
     }
 }

@@ -107,7 +107,10 @@ fn sext(value: u32, bits: u8) -> i32 {
 }
 
 fn enc_r(op: u8, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
-    ((op as u32) << 26) | ((rd.index() as u32) << 21) | ((rs1.index() as u32) << 16) | ((rs2.index() as u32) << 11)
+    ((op as u32) << 26)
+        | ((rd.index() as u32) << 21)
+        | ((rs1.index() as u32) << 16)
+        | ((rs2.index() as u32) << 11)
 }
 
 /// Encodes an instruction into a 32-bit word.
@@ -160,7 +163,12 @@ pub fn encode(op: &Op) -> Result<u32, EncodeError> {
                 | ((base.index() as u32) << 16)
                 | fit_signed(offset as i64, 16)?
         }
-        Op::Branch { cond, rs1, rs2, target } => {
+        Op::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
             let opc = match cond {
                 BranchCond::Eq => BEQ,
                 BranchCond::Ne => BNE,
@@ -201,12 +209,35 @@ pub fn decode(word: u32) -> Result<Op, DecodeError> {
         XOR => Op::Xor { rd, rs1, rs2 },
         MUL => Op::Mul { rd, rs1, rs2 },
         DIV => Op::Div { rd, rs1, rs2 },
-        SHL => Op::Shl { rd, rs1, shamt: ((word >> 11) & 0x1f) as u8 },
-        SHR => Op::Shr { rd, rs1, shamt: ((word >> 11) & 0x1f) as u8 },
-        ADDI => Op::AddImm { rd, rs1, imm: imm16 },
-        LI => Op::LoadImm { rd, imm: sext(word & 0x1f_ffff, 21) },
-        LD => Op::Load { rd, base: rs1, offset: imm16 },
-        ST => Op::Store { src: rd, base: rs1, offset: imm16 },
+        SHL => Op::Shl {
+            rd,
+            rs1,
+            shamt: ((word >> 11) & 0x1f) as u8,
+        },
+        SHR => Op::Shr {
+            rd,
+            rs1,
+            shamt: ((word >> 11) & 0x1f) as u8,
+        },
+        ADDI => Op::AddImm {
+            rd,
+            rs1,
+            imm: imm16,
+        },
+        LI => Op::LoadImm {
+            rd,
+            imm: sext(word & 0x1f_ffff, 21),
+        },
+        LD => Op::Load {
+            rd,
+            base: rs1,
+            offset: imm16,
+        },
+        ST => Op::Store {
+            src: rd,
+            base: rs1,
+            offset: imm16,
+        },
         BEQ | BNE | BLT | BGE => {
             let cond = match opc {
                 BEQ => BranchCond::Eq,
@@ -221,8 +252,12 @@ pub fn decode(word: u32) -> Result<Op, DecodeError> {
                 target: Addr::new(word & 0xffff),
             }
         }
-        JMP => Op::Jump { target: Addr::new(word & 0x03ff_ffff) },
-        JAL => Op::Call { target: Addr::new(word & 0x03ff_ffff) },
+        JMP => Op::Jump {
+            target: Addr::new(word & 0x03ff_ffff),
+        },
+        JAL => Op::Call {
+            target: Addr::new(word & 0x03ff_ffff),
+        },
         RET => Op::Return,
         JR => Op::IndirectJump { rs1: rd },
         HALT => Op::Halt,
@@ -234,7 +269,6 @@ pub fn decode(word: u32) -> Result<Op, DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn r(i: u8) -> Reg {
         Reg::new(i)
@@ -243,15 +277,47 @@ mod tests {
     #[test]
     fn roundtrip_representative_ops() {
         let ops = [
-            Op::Add { rd: r(1), rs1: r(2), rs2: r(3) },
-            Op::Shl { rd: r(4), rs1: r(5), shamt: 31 },
-            Op::AddImm { rd: r(6), rs1: r(7), imm: -32768 },
-            Op::LoadImm { rd: r(8), imm: 1_000_000 },
-            Op::Load { rd: r(9), base: r(10), offset: 32767 },
-            Op::Store { src: r(11), base: r(12), offset: -4 },
-            Op::Branch { cond: BranchCond::Lt, rs1: r(13), rs2: r(14), target: Addr::new(65535) },
-            Op::Jump { target: Addr::new(0x03ff_ffff) },
-            Op::Call { target: Addr::new(12345) },
+            Op::Add {
+                rd: r(1),
+                rs1: r(2),
+                rs2: r(3),
+            },
+            Op::Shl {
+                rd: r(4),
+                rs1: r(5),
+                shamt: 31,
+            },
+            Op::AddImm {
+                rd: r(6),
+                rs1: r(7),
+                imm: -32768,
+            },
+            Op::LoadImm {
+                rd: r(8),
+                imm: 1_000_000,
+            },
+            Op::Load {
+                rd: r(9),
+                base: r(10),
+                offset: 32767,
+            },
+            Op::Store {
+                src: r(11),
+                base: r(12),
+                offset: -4,
+            },
+            Op::Branch {
+                cond: BranchCond::Lt,
+                rs1: r(13),
+                rs2: r(14),
+                target: Addr::new(65535),
+            },
+            Op::Jump {
+                target: Addr::new(0x03ff_ffff),
+            },
+            Op::Call {
+                target: Addr::new(12345),
+            },
             Op::Return,
             Op::IndirectJump { rs1: r(15) },
             Op::Halt,
@@ -265,8 +331,15 @@ mod tests {
 
     #[test]
     fn immediate_overflow_detected() {
-        let op = Op::AddImm { rd: r(1), rs1: r(2), imm: 40_000 };
-        assert!(matches!(encode(&op), Err(EncodeError::ImmOutOfRange { .. })));
+        let op = Op::AddImm {
+            rd: r(1),
+            rs1: r(2),
+            imm: 40_000,
+        };
+        assert!(matches!(
+            encode(&op),
+            Err(EncodeError::ImmOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -277,7 +350,10 @@ mod tests {
             rs2: r(2),
             target: Addr::new(70_000),
         };
-        assert!(matches!(encode(&op), Err(EncodeError::TargetOutOfRange { .. })));
+        assert!(matches!(
+            encode(&op),
+            Err(EncodeError::TargetOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -290,39 +366,73 @@ mod tests {
         assert_ne!(encode(&Op::Nop).unwrap(), 0);
     }
 
-    fn arb_reg() -> impl Strategy<Value = Reg> {
-        (0u8..32).prop_map(Reg::new)
-    }
+    #[cfg(feature = "proptest-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
 
-    fn arb_op() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Op::Add { rd, rs1, rs2 }),
-            (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Op::Xor { rd, rs1, rs2 }),
-            (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Op::Shl { rd, rs1, shamt }),
-            (arb_reg(), arb_reg(), -32768i32..=32767).prop_map(|(rd, rs1, imm)| Op::AddImm { rd, rs1, imm }),
-            (arb_reg(), -(1i32 << 20)..(1i32 << 20)).prop_map(|(rd, imm)| Op::LoadImm { rd, imm }),
-            (arb_reg(), arb_reg(), -32768i32..=32767).prop_map(|(rd, base, offset)| Op::Load { rd, base, offset }),
-            (arb_reg(), arb_reg(), -32768i32..=32767).prop_map(|(src, base, offset)| Op::Store { src, base, offset }),
-            (0usize..4, arb_reg(), arb_reg(), 0u32..65536).prop_map(|(c, rs1, rs2, t)| Op::Branch {
-                cond: BranchCond::ALL[c],
-                rs1,
-                rs2,
-                target: Addr::new(t)
-            }),
-            (0u32..(1 << 26)).prop_map(|t| Op::Jump { target: Addr::new(t) }),
-            (0u32..(1 << 26)).prop_map(|t| Op::Call { target: Addr::new(t) }),
-            Just(Op::Return),
-            arb_reg().prop_map(|rs1| Op::IndirectJump { rs1 }),
-            Just(Op::Halt),
-            Just(Op::Nop),
-        ]
-    }
+        fn arb_reg() -> impl Strategy<Value = Reg> {
+            (0u8..32).prop_map(Reg::new)
+        }
 
-    proptest! {
-        #[test]
-        fn encode_decode_roundtrip(op in arb_op()) {
-            let word = encode(&op).expect("all generated ops are in range");
-            prop_assert_eq!(decode(word).expect("valid word"), op);
+        fn arb_op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Op::Add {
+                    rd,
+                    rs1,
+                    rs2
+                }),
+                (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Op::Xor {
+                    rd,
+                    rs1,
+                    rs2
+                }),
+                (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Op::Shl {
+                    rd,
+                    rs1,
+                    shamt
+                }),
+                (arb_reg(), arb_reg(), -32768i32..=32767).prop_map(|(rd, rs1, imm)| Op::AddImm {
+                    rd,
+                    rs1,
+                    imm
+                }),
+                (arb_reg(), -(1i32 << 20)..(1i32 << 20))
+                    .prop_map(|(rd, imm)| Op::LoadImm { rd, imm }),
+                (arb_reg(), arb_reg(), -32768i32..=32767).prop_map(|(rd, base, offset)| Op::Load {
+                    rd,
+                    base,
+                    offset
+                }),
+                (arb_reg(), arb_reg(), -32768i32..=32767)
+                    .prop_map(|(src, base, offset)| Op::Store { src, base, offset }),
+                (0usize..4, arb_reg(), arb_reg(), 0u32..65536).prop_map(|(c, rs1, rs2, t)| {
+                    Op::Branch {
+                        cond: BranchCond::ALL[c],
+                        rs1,
+                        rs2,
+                        target: Addr::new(t),
+                    }
+                }),
+                (0u32..(1 << 26)).prop_map(|t| Op::Jump {
+                    target: Addr::new(t)
+                }),
+                (0u32..(1 << 26)).prop_map(|t| Op::Call {
+                    target: Addr::new(t)
+                }),
+                Just(Op::Return),
+                arb_reg().prop_map(|rs1| Op::IndirectJump { rs1 }),
+                Just(Op::Halt),
+                Just(Op::Nop),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn encode_decode_roundtrip(op in arb_op()) {
+                let word = encode(&op).expect("all generated ops are in range");
+                prop_assert_eq!(decode(word).expect("valid word"), op);
+            }
         }
     }
 }

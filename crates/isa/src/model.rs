@@ -25,7 +25,11 @@ impl XorShift64 {
     /// non-zero constant (xorshift has a zero fixed point).
     pub fn new(seed: u64) -> Self {
         XorShift64 {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -167,7 +171,10 @@ impl IndirectModel {
     ///
     /// Panics if `targets` is empty.
     pub fn uniform(targets: Vec<Addr>, seed: u64) -> Self {
-        assert!(!targets.is_empty(), "indirect model needs at least one target");
+        assert!(
+            !targets.is_empty(),
+            "indirect model needs at least one target"
+        );
         let weights = vec![1; targets.len()];
         let total_weight = targets.len() as u32;
         IndirectModel {
@@ -185,8 +192,15 @@ impl IndirectModel {
     /// Panics if the slices are empty, differ in length, or all
     /// weights are zero.
     pub fn weighted(targets: Vec<Addr>, weights: Vec<u32>, seed: u64) -> Self {
-        assert!(!targets.is_empty(), "indirect model needs at least one target");
-        assert_eq!(targets.len(), weights.len(), "targets/weights length mismatch");
+        assert!(
+            !targets.is_empty(),
+            "indirect model needs at least one target"
+        );
+        assert_eq!(
+            targets.len(),
+            weights.len(),
+            "targets/weights length mismatch"
+        );
         let total_weight: u32 = weights.iter().sum();
         assert!(total_weight > 0, "weights must not all be zero");
         IndirectModel {
@@ -244,7 +258,10 @@ mod tests {
         let model = OutcomeModel::Loop { trip: 4 };
         let mut st = OutcomeState::new(&model);
         let outcomes: Vec<bool> = (0..8).map(|_| st.next_outcome(&model)).collect();
-        assert_eq!(outcomes, vec![true, true, true, false, true, true, true, false]);
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, true, true, true, false]
+        );
     }
 
     #[test]
@@ -257,7 +274,11 @@ mod tests {
 
     #[test]
     fn biased_model_hits_its_bias() {
-        let model = OutcomeModel::Biased { num: 9, denom: 10, seed: 7 };
+        let model = OutcomeModel::Biased {
+            num: 9,
+            denom: 10,
+            seed: 7,
+        };
         let mut st = OutcomeState::new(&model);
         let taken = (0..10_000).filter(|_| st.next_outcome(&model)).count();
         assert!((8_700..=9_300).contains(&taken), "taken = {taken}");
@@ -266,7 +287,10 @@ mod tests {
     #[test]
     fn pattern_model_repeats() {
         // pattern 1,0,1 (LSB first)
-        let model = OutcomeModel::Pattern { bits: 0b101, len: 3 };
+        let model = OutcomeModel::Pattern {
+            bits: 0b101,
+            len: 3,
+        };
         let mut st = OutcomeState::new(&model);
         let outcomes: Vec<bool> = (0..6).map(|_| st.next_outcome(&model)).collect();
         assert_eq!(outcomes, vec![true, false, true, true, false, true]);
@@ -277,13 +301,31 @@ mod tests {
         assert_eq!(OutcomeModel::Loop { trip: 10 }.taken_permille(), 900);
         assert_eq!(OutcomeModel::AlwaysTaken.taken_permille(), 1000);
         assert_eq!(OutcomeModel::NeverTaken.taken_permille(), 0);
-        assert_eq!(OutcomeModel::Biased { num: 1, denom: 2, seed: 0 }.taken_permille(), 500);
+        assert_eq!(
+            OutcomeModel::Biased {
+                num: 1,
+                denom: 2,
+                seed: 0
+            }
+            .taken_permille(),
+            500
+        );
     }
 
     #[test]
     fn strong_bias_classification() {
-        assert!(OutcomeModel::Biased { num: 19, denom: 20, seed: 0 }.is_strongly_biased());
-        assert!(!OutcomeModel::Biased { num: 3, denom: 5, seed: 0 }.is_strongly_biased());
+        assert!(OutcomeModel::Biased {
+            num: 19,
+            denom: 20,
+            seed: 0
+        }
+        .is_strongly_biased());
+        assert!(!OutcomeModel::Biased {
+            num: 3,
+            denom: 5,
+            seed: 0
+        }
+        .is_strongly_biased());
         assert!(OutcomeModel::Loop { trip: 100 }.is_strongly_biased());
     }
 
@@ -301,11 +343,7 @@ mod tests {
 
     #[test]
     fn indirect_weighted_respects_weights() {
-        let model = IndirectModel::weighted(
-            vec![Addr::new(1), Addr::new(2)],
-            vec![9, 1],
-            11,
-        );
+        let model = IndirectModel::weighted(vec![Addr::new(1), Addr::new(2)], vec![9, 1], 11);
         let mut rng = XorShift64::new(model.seed());
         let hits = (0..10_000)
             .filter(|_| model.select(&mut rng) == Addr::new(1))

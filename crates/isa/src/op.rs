@@ -212,9 +212,7 @@ impl Op {
             | Op::Xor { rs1, rs2, .. }
             | Op::Mul { rs1, rs2, .. }
             | Op::Div { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
-            Op::Shl { rs1, .. } | Op::Shr { rs1, .. } | Op::AddImm { rs1, .. } => {
-                (Some(rs1), None)
-            }
+            Op::Shl { rs1, .. } | Op::Shr { rs1, .. } | Op::AddImm { rs1, .. } => (Some(rs1), None),
             Op::Load { base, .. } => (Some(base), None),
             Op::Store { src, base, .. } => (Some(base), Some(src)),
             Op::Branch { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
@@ -328,29 +326,63 @@ mod tests {
 
     #[test]
     fn classes_cover_all_shapes() {
-        assert_eq!(Op::Add { rd: r(1), rs1: r(2), rs2: r(3) }.class(), OpClass::IntAlu);
-        assert_eq!(Op::Mul { rd: r(1), rs1: r(2), rs2: r(3) }.class(), OpClass::IntMul);
-        assert_eq!(Op::Load { rd: r(1), base: r(2), offset: 0 }.class(), OpClass::Load);
+        assert_eq!(
+            Op::Add {
+                rd: r(1),
+                rs1: r(2),
+                rs2: r(3)
+            }
+            .class(),
+            OpClass::IntAlu
+        );
+        assert_eq!(
+            Op::Mul {
+                rd: r(1),
+                rs1: r(2),
+                rs2: r(3)
+            }
+            .class(),
+            OpClass::IntMul
+        );
+        assert_eq!(
+            Op::Load {
+                rd: r(1),
+                base: r(2),
+                offset: 0
+            }
+            .class(),
+            OpClass::Load
+        );
         assert_eq!(Op::Return.class(), OpClass::Return);
         assert_eq!(Op::Halt.class(), OpClass::Halt);
     }
 
     #[test]
     fn zero_register_writes_are_discarded() {
-        let op = Op::Add { rd: Reg::ZERO, rs1: r(1), rs2: r(2) };
+        let op = Op::Add {
+            rd: Reg::ZERO,
+            rs1: r(1),
+            rs2: r(2),
+        };
         assert_eq!(op.dest(), None);
     }
 
     #[test]
     fn zero_register_reads_create_no_dependence() {
-        let op = Op::Add { rd: r(3), rs1: Reg::ZERO, rs2: r(2) };
+        let op = Op::Add {
+            rd: r(3),
+            rs1: Reg::ZERO,
+            rs2: r(2),
+        };
         let srcs: Vec<_> = op.sources().iter().collect();
         assert_eq!(srcs, vec![r(2)]);
     }
 
     #[test]
     fn call_writes_link() {
-        let op = Op::Call { target: Addr::new(100) };
+        let op = Op::Call {
+            target: Addr::new(100),
+        };
         assert_eq!(op.dest(), Some(Reg::LINK));
     }
 
@@ -362,8 +394,18 @@ mod tests {
 
     #[test]
     fn backward_branch_detection() {
-        let back = Op::Branch { cond: BranchCond::Ne, rs1: r(1), rs2: r(2), target: Addr::new(5) };
-        let fwd = Op::Branch { cond: BranchCond::Ne, rs1: r(1), rs2: r(2), target: Addr::new(50) };
+        let back = Op::Branch {
+            cond: BranchCond::Ne,
+            rs1: r(1),
+            rs2: r(2),
+            target: Addr::new(5),
+        };
+        let fwd = Op::Branch {
+            cond: BranchCond::Ne,
+            rs1: r(1),
+            rs2: r(2),
+            target: Addr::new(50),
+        };
         assert!(back.is_backward_branch(Addr::new(10)));
         assert!(!fwd.is_backward_branch(Addr::new(10)));
         // A branch to itself counts as backward (degenerate loop).
@@ -372,7 +414,13 @@ mod tests {
 
     #[test]
     fn static_targets() {
-        assert_eq!(Op::Jump { target: Addr::new(9) }.static_target(), Some(Addr::new(9)));
+        assert_eq!(
+            Op::Jump {
+                target: Addr::new(9)
+            }
+            .static_target(),
+            Some(Addr::new(9))
+        );
         assert_eq!(Op::Return.static_target(), None);
         assert_eq!(Op::IndirectJump { rs1: r(4) }.static_target(), None);
     }
@@ -389,13 +437,22 @@ mod tests {
 
     #[test]
     fn display_smoke() {
-        let op = Op::Branch { cond: BranchCond::Lt, rs1: r(1), rs2: r(2), target: Addr::new(4) };
+        let op = Op::Branch {
+            cond: BranchCond::Lt,
+            rs1: r(1),
+            rs2: r(2),
+            target: Addr::new(4),
+        };
         assert_eq!(op.to_string(), "blt r1, r2, 0x000010");
     }
 
     #[test]
     fn source_regs_iteration() {
-        let op = Op::Store { src: r(5), base: r(6), offset: 8 };
+        let op = Op::Store {
+            src: r(5),
+            base: r(6),
+            offset: 8,
+        };
         assert_eq!(op.sources().len(), 2);
         assert!(!op.sources().is_empty());
         let collected: Vec<_> = op.sources().into_iter().collect();

@@ -140,7 +140,10 @@ impl fmt::Display for ProgramError {
                 write!(f, "model at {a} does not match the instruction kind")
             }
             ProgramError::FallsOffEnd => {
-                write!(f, "last instruction can fall through past the end of the code")
+                write!(
+                    f,
+                    "last instruction can fall through past the end of the code"
+                )
             }
         }
     }
@@ -357,7 +360,10 @@ mod tests {
 
     #[test]
     fn empty_program_rejected() {
-        assert_eq!(ProgramBuilder::new().build().unwrap_err(), ProgramError::Empty);
+        assert_eq!(
+            ProgramBuilder::new().build().unwrap_err(),
+            ProgramError::Empty
+        );
     }
 
     #[test]
@@ -373,7 +379,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.push(branch_to(Addr::new(0)));
         b.push(Op::Halt);
-        assert!(matches!(b.build(), Err(ProgramError::MissingBranchModel(_))));
+        assert!(matches!(
+            b.build(),
+            Err(ProgramError::MissingBranchModel(_))
+        ));
     }
 
     #[test]
@@ -381,7 +390,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.push_branch(branch_to(Addr::new(99)), OutcomeModel::AlwaysTaken);
         b.push(Op::Halt);
-        assert!(matches!(b.build(), Err(ProgramError::TargetOutOfRange { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ProgramError::TargetOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -406,7 +418,10 @@ mod tests {
             IndirectModel::uniform(vec![Addr::new(50)], 1),
         );
         b.push(Op::Halt);
-        assert!(matches!(b.build(), Err(ProgramError::TargetOutOfRange { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ProgramError::TargetOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -414,9 +429,19 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let at = b.push(Op::Nop);
         b.push(Op::Halt);
-        b.patch(at, Op::Jump { target: Addr::new(1) });
+        b.patch(
+            at,
+            Op::Jump {
+                target: Addr::new(1),
+            },
+        );
         let p = b.build().unwrap();
-        assert_eq!(p.fetch(at), Some(&Op::Jump { target: Addr::new(1) }));
+        assert_eq!(
+            p.fetch(at),
+            Some(&Op::Jump {
+                target: Addr::new(1)
+            })
+        );
     }
 
     #[test]

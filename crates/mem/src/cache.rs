@@ -32,7 +32,10 @@ impl CacheGeometry {
     /// Panics if `entries` is not a multiple of `ways` or the
     /// resulting set count is not a power of two.
     pub fn with_entries(entries: u32, ways: u32) -> Self {
-        assert!(ways > 0 && entries.is_multiple_of(ways), "entries must divide by ways");
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "entries must divide by ways"
+        );
         Self::new(entries / ways, ways)
     }
 
@@ -91,7 +94,11 @@ impl SetAssocCache {
         SetAssocCache {
             geometry,
             entries: vec![
-                Entry { key: 0, stamp: 0, valid: false };
+                Entry {
+                    key: 0,
+                    stamp: 0,
+                    valid: false
+                };
                 geometry.entries() as usize
             ],
             clock: 0,
@@ -147,7 +154,11 @@ impl SetAssocCache {
         // Free way?
         for e in &mut self.entries[range.clone()] {
             if !e.valid {
-                *e = Entry { key, stamp: clock, valid: true };
+                *e = Entry {
+                    key,
+                    stamp: clock,
+                    valid: true,
+                };
                 return None;
             }
         }
@@ -157,7 +168,11 @@ impl SetAssocCache {
             .min_by_key(|e| e.stamp)
             .expect("ways > 0");
         let evicted = victim.key;
-        *victim = Entry { key, stamp: clock, valid: true };
+        *victim = Entry {
+            key,
+            stamp: clock,
+            valid: true,
+        };
         Some(evicted)
     }
 

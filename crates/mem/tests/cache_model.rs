@@ -1,6 +1,7 @@
 //! Property test: `SetAssocCache` agrees with an executable
 //! reference model (per-set LRU lists) on arbitrary operation
 //! sequences.
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 use std::collections::VecDeque;

@@ -43,7 +43,10 @@ impl Bimodal {
     ///
     /// Panics if `entries` is zero or not a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "entry count must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "entry count must be a power of two"
+        );
         Bimodal {
             counters: vec![1; entries],
             mask: entries - 1,

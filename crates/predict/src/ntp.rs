@@ -106,7 +106,10 @@ struct TableEntry {
 }
 
 impl TableEntry {
-    const EMPTY: TableEntry = TableEntry { pred: None, counter: 0 };
+    const EMPTY: TableEntry = TableEntry {
+        pred: None,
+        counter: 0,
+    };
 
     fn train(&mut self, actual: TraceKey) {
         match self.pred {
@@ -277,7 +280,10 @@ mod tests {
                 p.observe(k, TraceEnd::Fallthrough);
             }
         }
-        assert_eq!(correct, 30, "fully predictable loop must be fully predicted");
+        assert_eq!(
+            correct, 30,
+            "fully predictable loop must be fully predicted"
+        );
     }
 
     #[test]

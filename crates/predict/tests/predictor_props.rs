@@ -1,8 +1,11 @@
 //! Property tests for the predictors.
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 use tpc_isa::Addr;
-use tpc_predict::{Bias, Bimodal, NextTracePredictor, NtpConfig, ReturnAddressStack, TraceEnd, TraceKey};
+use tpc_predict::{
+    Bias, Bimodal, NextTracePredictor, NtpConfig, ReturnAddressStack, TraceEnd, TraceKey,
+};
 
 /// Reference 2-bit saturating counter.
 fn ref_update(c: u8, taken: bool) -> u8 {

@@ -123,9 +123,13 @@ impl Backend {
     pub fn new(config: BackendConfig) -> Self {
         Backend {
             reg_ready: [(0, 0); tpc_isa::NUM_REGS],
-            issue_slots: (0..config.pe_count).map(|_| CycleCounter::new(8192)).collect(),
+            issue_slots: (0..config.pe_count)
+                .map(|_| CycleCounter::new(8192))
+                .collect(),
             mem_global: CycleCounter::new(8192),
-            mem_per_pe: (0..config.pe_count).map(|_| CycleCounter::new(8192)).collect(),
+            mem_per_pe: (0..config.pe_count)
+                .map(|_| CycleCounter::new(8192))
+                .collect(),
             dcache: DataCache::new(),
             pe_free_at: vec![0; config.pe_count],
             next_pe: 0,
@@ -183,7 +187,11 @@ impl Backend {
         let pe = self.claim_pe(dispatch_cycle);
         let n = dt.trace.len();
         let instrs = dt.trace.instrs();
-        let info = if use_preprocess { dt.trace.preprocess_info() } else { None };
+        let info = if use_preprocess {
+            dt.trace.preprocess_info()
+        } else {
+            None
+        };
 
         let raw_deps;
         let deps: &[Vec<u8>] = match info {
@@ -232,7 +240,11 @@ impl Backend {
                 }
                 for src in &external_srcs[i] {
                     let (avail, producer_pe) = self.reg_ready[src.index()];
-                    let penalty = if producer_pe == pe { 0 } else { self.config.bus_delay };
+                    let penalty = if producer_pe == pe {
+                        0
+                    } else {
+                        self.config.bus_delay
+                    };
                     ready = ready.max(avail + penalty);
                 }
             }
@@ -338,9 +350,7 @@ mod tests {
         let mem_addrs = trace
             .instrs()
             .iter()
-            .map(|ti| {
-                matches!(ti.op.class(), OpClass::Load | OpClass::Store).then_some(0x100)
-            })
+            .map(|ti| matches!(ti.op.class(), OpClass::Load | OpClass::Store).then_some(0x100))
             .collect();
         DynTrace {
             trace,
@@ -355,10 +365,26 @@ mod tests {
         // 4 independent ALU ops → 2 cycles of issue; complete at
         // dispatch+2.
         let dt = dyn_trace(&[
-            Op::AddImm { rd: r(1), rs1: r(10), imm: 1 },
-            Op::AddImm { rd: r(2), rs1: r(11), imm: 1 },
-            Op::AddImm { rd: r(3), rs1: r(12), imm: 1 },
-            Op::AddImm { rd: r(4), rs1: r(13), imm: 1 },
+            Op::AddImm {
+                rd: r(1),
+                rs1: r(10),
+                imm: 1,
+            },
+            Op::AddImm {
+                rd: r(2),
+                rs1: r(11),
+                imm: 1,
+            },
+            Op::AddImm {
+                rd: r(3),
+                rs1: r(12),
+                imm: 1,
+            },
+            Op::AddImm {
+                rd: r(4),
+                rs1: r(13),
+                imm: 1,
+            },
         ]);
         let t = be.dispatch(&dt, 0, false);
         // 4 ALU ops dual-issue over cycles 1–2; the terminating ret
@@ -370,10 +396,26 @@ mod tests {
     fn dependent_chain_serializes() {
         let mut be = Backend::new(BackendConfig::default());
         let dt = dyn_trace(&[
-            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },
-            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },
-            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },
-            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },
+            Op::AddImm {
+                rd: r(1),
+                rs1: r(1),
+                imm: 1,
+            },
+            Op::AddImm {
+                rd: r(1),
+                rs1: r(1),
+                imm: 1,
+            },
+            Op::AddImm {
+                rd: r(1),
+                rs1: r(1),
+                imm: 1,
+            },
+            Op::AddImm {
+                rd: r(1),
+                rs1: r(1),
+                imm: 1,
+            },
         ]);
         let t = be.dispatch(&dt, 0, false);
         // Back-to-back chain: cycles 1,2,3,4.
@@ -384,11 +426,19 @@ mod tests {
     fn cross_pe_dependence_pays_bus_delay() {
         let mut be = Backend::new(BackendConfig::default());
         // Trace A writes r5 on PE 0.
-        let a = dyn_trace(&[Op::AddImm { rd: r(5), rs1: r(9), imm: 1 }]);
+        let a = dyn_trace(&[Op::AddImm {
+            rd: r(5),
+            rs1: r(9),
+            imm: 1,
+        }]);
         let ta = be.dispatch(&a, 0, false);
         assert_eq!(ta.pe, 0);
         // Trace B (PE 1) reads r5: executes at done(A) + 1 + bus.
-        let b = dyn_trace(&[Op::AddImm { rd: r(6), rs1: r(5), imm: 1 }]);
+        let b = dyn_trace(&[Op::AddImm {
+            rd: r(6),
+            rs1: r(5),
+            imm: 1,
+        }]);
         let tb = be.dispatch(&b, 0, false);
         assert_eq!(tb.pe, 1);
         assert_eq!(tb.complete, ta.complete + 2);
@@ -397,7 +447,11 @@ mod tests {
     #[test]
     fn same_pe_readback_after_release() {
         let mut be = Backend::new(BackendConfig::default());
-        let a = dyn_trace(&[Op::AddImm { rd: r(5), rs1: r(9), imm: 1 }]);
+        let a = dyn_trace(&[Op::AddImm {
+            rd: r(5),
+            rs1: r(9),
+            imm: 1,
+        }]);
         let ta = be.dispatch(&a, 0, false);
         be.release_pe(ta.pe, ta.complete + 1);
         // Fill the other PEs so the next dispatch reuses PE 0.
@@ -405,7 +459,11 @@ mod tests {
             let f = dyn_trace(&[Op::Nop]);
             be.dispatch(&f, 0, false);
         }
-        let b = dyn_trace(&[Op::AddImm { rd: r(6), rs1: r(5), imm: 1 }]);
+        let b = dyn_trace(&[Op::AddImm {
+            rd: r(6),
+            rs1: r(5),
+            imm: 1,
+        }]);
         let tb = be.dispatch(&b, ta.complete + 1, false);
         assert_eq!(tb.pe, ta.pe, "round-robin returns to the freed PE");
         // Same PE: no bus delay; bounded by dispatch+1.
@@ -415,13 +473,21 @@ mod tests {
     #[test]
     fn load_latency_includes_dcache() {
         let mut be = Backend::new(BackendConfig::default());
-        let dt = dyn_trace(&[Op::Load { rd: r(1), base: r(2), offset: 0 }]);
+        let dt = dyn_trace(&[Op::Load {
+            rd: r(1),
+            base: r(2),
+            offset: 0,
+        }]);
         let t = be.dispatch(&dt, 0, false);
         // Cold load: 1 (AGU) + 2 (hit) + 10 (L2 miss) = 13 cycles
         // starting at cycle 1 → done at 13.
         assert_eq!(t.complete, 13);
         // Warm load on the same line: 1 + 2 = 3 cycles.
-        let dt2 = dyn_trace(&[Op::Load { rd: r(3), base: r(2), offset: 0 }]);
+        let dt2 = dyn_trace(&[Op::Load {
+            rd: r(3),
+            base: r(2),
+            offset: 0,
+        }]);
         let t2 = be.dispatch(&dt2, 0, false);
         assert_eq!(t2.complete, 3);
     }
@@ -430,14 +496,30 @@ mod tests {
     fn mem_ports_limit_parallel_loads() {
         let mut be = Backend::new(BackendConfig::default());
         // Warm the line first.
-        let warm = dyn_trace(&[Op::Load { rd: r(9), base: r(2), offset: 0 }]);
+        let warm = dyn_trace(&[Op::Load {
+            rd: r(9),
+            base: r(2),
+            offset: 0,
+        }]);
         be.dispatch(&warm, 0, false);
         be.release_pe(0, 0);
         // 3 independent loads on one PE: 2 ports/PE → issue over 2 cycles.
         let dt = dyn_trace(&[
-            Op::Load { rd: r(1), base: r(2), offset: 0 },
-            Op::Load { rd: r(3), base: r(2), offset: 0 },
-            Op::Load { rd: r(4), base: r(2), offset: 0 },
+            Op::Load {
+                rd: r(1),
+                base: r(2),
+                offset: 0,
+            },
+            Op::Load {
+                rd: r(3),
+                base: r(2),
+                offset: 0,
+            },
+            Op::Load {
+                rd: r(4),
+                base: r(2),
+                offset: 0,
+            },
         ]);
         let t = be.dispatch(&dt, 100, false);
         // First two issue at 101, third at 102 → done 102+2 = 104.
@@ -448,7 +530,15 @@ mod tests {
     fn branch_resolve_times_reported() {
         let mut be = Backend::new(BackendConfig::default());
         let mut b = TraceBuilder::new(Addr::new(0));
-        b.push(Addr::new(0), Op::AddImm { rd: r(1), rs1: r(1), imm: 1 }, Resolution::None);
+        b.push(
+            Addr::new(0),
+            Op::AddImm {
+                rd: r(1),
+                rs1: r(1),
+                imm: 1,
+            },
+            Resolution::None,
+        );
         let trace = match b.push(
             Addr::new(1),
             Op::Branch {
@@ -457,7 +547,10 @@ mod tests {
                 rs2: r(2),
                 target: Addr::new(40),
             },
-            Resolution::Branch { taken: false, next_pc: Addr::new(2) },
+            Resolution::Branch {
+                taken: false,
+                next_pc: Addr::new(2),
+            },
         ) {
             PushResult::Continue(_) => match b.push(Addr::new(2), Op::Return, Resolution::None) {
                 PushResult::Complete(t) => t,
@@ -483,9 +576,21 @@ mod tests {
         // li; addi(dep); addi(dep); addi(dep) — all foldable.
         let ops = [
             Op::LoadImm { rd: r(1), imm: 5 },
-            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },
-            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },
-            Op::AddImm { rd: r(1), rs1: r(1), imm: 1 },
+            Op::AddImm {
+                rd: r(1),
+                rs1: r(1),
+                imm: 1,
+            },
+            Op::AddImm {
+                rd: r(1),
+                rs1: r(1),
+                imm: 1,
+            },
+            Op::AddImm {
+                rd: r(1),
+                rs1: r(1),
+                imm: 1,
+            },
         ];
         let mut plain = dyn_trace(&ops);
         let info = preprocess::preprocess(&plain.trace);

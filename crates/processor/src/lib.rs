@@ -29,5 +29,7 @@ pub mod backend;
 pub mod simulator;
 pub mod stream;
 
-pub use simulator::{FrontendBreakdown, SimConfig, SimEvent, SimStats, Simulator, StorageKind, SupplySource};
+pub use simulator::{
+    FrontendBreakdown, SimConfig, SimEvent, SimStats, Simulator, StorageKind, SupplySource,
+};
 pub use stream::{DynTrace, TraceStream};

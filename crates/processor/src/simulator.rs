@@ -114,7 +114,10 @@ impl SimConfig {
     pub fn unified(total_entries: u32, initial_pb_ways: u8, epoch_fetches: u64) -> Self {
         SimConfig {
             trace_cache_entries: total_entries,
-            storage: StorageKind::Unified { initial_pb_ways, epoch_fetches },
+            storage: StorageKind::Unified {
+                initial_pb_ways,
+                epoch_fetches,
+            },
             engine: EngineConfig {
                 enabled: true,
                 buffer_entries: 0,
@@ -127,7 +130,11 @@ impl SimConfig {
 
 /// Counters and component statistics captured by
 /// [`Simulator::stats`].
-#[derive(Debug, Clone, Default)]
+///
+/// Every field is an exact integer counter, so two runs can be
+/// compared for bit-identity with `==` (the parallel sweep executor's
+/// determinism tests rely on this).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -398,15 +405,20 @@ impl<'a> Simulator<'a> {
         let store: Box<dyn TraceStore> = match config.storage {
             StorageKind::Split => Box::new(SplitStore::new(
                 config.trace_cache_entries,
-                if config.engine.enabled { config.engine.buffer_entries } else { 0 },
+                if config.engine.enabled {
+                    config.engine.buffer_entries
+                } else {
+                    0
+                },
             )),
-            StorageKind::Unified { initial_pb_ways, epoch_fetches } => {
-                Box::new(UnifiedStore::new(UnifiedConfig {
-                    entries: config.trace_cache_entries + config.engine.buffer_entries,
-                    initial_pb_ways,
-                    epoch_fetches,
-                }))
-            }
+            StorageKind::Unified {
+                initial_pb_ways,
+                epoch_fetches,
+            } => Box::new(UnifiedStore::new(UnifiedConfig {
+                entries: config.trace_cache_entries + config.engine.buffer_entries,
+                initial_pb_ways,
+                epoch_fetches,
+            })),
         };
         Simulator {
             stream: TraceStream::new(program),
@@ -535,7 +547,9 @@ impl<'a> Simulator<'a> {
 
     /// Retires at most one trace per cycle, in order.
     fn retire_stage(&mut self) {
-        let Some(front) = self.inflight.front() else { return };
+        let Some(front) = self.inflight.front() else {
+            return;
+        };
         let retire_at = front.timing.complete.max(self.last_retire_cycle + 1);
         if self.cycle < retire_at {
             return;
@@ -617,7 +631,7 @@ impl<'a> Simulator<'a> {
             }
             let mut dt = self.pending.take().expect("set above");
             if let Some(info) = fetched.preprocess {
-                dt.trace.set_preprocess(info);
+                dt.trace.set_preprocess_arc(info);
             }
             self.dispatch(dt);
             return FrontendActivity::Dispatched;
@@ -908,7 +922,10 @@ mod tests {
             s.trace_fetches,
             s.trace_cache_hits + s.precon_buffer_hits + s.trace_cache_misses
         );
-        assert!(s.precon_buffer_hits > 0, "unified precon ways supply traces");
+        assert!(
+            s.precon_buffer_hits > 0,
+            "unified precon ways supply traces"
+        );
         // And it must beat the same capacity with no preconstruction.
         let mut base = Simulator::new(&p, SimConfig::baseline(256));
         let sb = base.run_with_warmup(40_000, 80_000);
@@ -938,7 +955,10 @@ mod tests {
             .filter(|e| matches!(e, SimEvent::Retire { .. }))
             .count();
         assert!(dispatches > 0 && retires > 0);
-        assert!(dispatches >= retires, "a trace retires only after dispatching");
+        assert!(
+            dispatches >= retires,
+            "a trace retires only after dispatching"
+        );
         // Events are in non-decreasing cycle order.
         for w in events.windows(2) {
             assert!(w[0].cycle() <= w[1].cycle());

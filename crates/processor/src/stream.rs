@@ -133,10 +133,7 @@ mod tests {
         let mut s = TraceStream::new(&p);
         for _ in 0..2000 {
             let t = s.next_trace();
-            assert_eq!(
-                t.branch_outcomes.len() as u8,
-                t.trace.key().branch_count
-            );
+            assert_eq!(t.branch_outcomes.len() as u8, t.trace.key().branch_count);
             for (i, &taken) in t.branch_outcomes.iter().enumerate() {
                 assert_eq!(t.trace.branch_outcome(i as u8), Some(taken));
             }
@@ -150,7 +147,9 @@ mod tests {
         let p = WorkloadBuilder::new(Benchmark::M88ksim).seed(3).build();
         let keys = |_: ()| {
             let mut s = TraceStream::new(&p);
-            (0..500).map(|_| s.next_trace().trace.key()).collect::<Vec<_>>()
+            (0..500)
+                .map(|_| s.next_trace().trace.key())
+                .collect::<Vec<_>>()
         };
         assert_eq!(keys(()), keys(()));
     }

@@ -1,13 +1,14 @@
 //! Property tests over the backend scheduler: every computed
 //! schedule must respect the machine's structural and dataflow
 //! constraints, for arbitrary traces.
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 use tpc_core::preprocess::{latency::op_latency, trace_deps};
-use tpc_processor::backend::{Backend, BackendConfig};
-use tpc_processor::DynTrace;
 use tpc_core::{PushResult, Resolution, TraceBuilder};
 use tpc_isa::{Addr, Op, OpClass, Reg};
+use tpc_processor::backend::{Backend, BackendConfig};
+use tpc_processor::DynTrace;
 
 #[derive(Debug, Clone, Copy)]
 enum OpShape {
@@ -41,11 +42,31 @@ fn build_dyn_trace(shapes: &[OpShape]) -> DynTrace {
     let mut trace = None;
     for (i, &s) in shapes.iter().enumerate() {
         let op = match s {
-            OpShape::Alu(a, x, y) => Op::Add { rd: r(a), rs1: r(x), rs2: r(y) },
-            OpShape::AddImm(a, x) => Op::AddImm { rd: r(a), rs1: r(x), imm: 1 },
-            OpShape::Mul(a, x, y) => Op::Mul { rd: r(a), rs1: r(x), rs2: r(y) },
-            OpShape::Load(a, x, o) => Op::Load { rd: r(a), base: r(x), offset: o as i32 },
-            OpShape::Store(a, x, o) => Op::Store { src: r(a), base: r(x), offset: o as i32 },
+            OpShape::Alu(a, x, y) => Op::Add {
+                rd: r(a),
+                rs1: r(x),
+                rs2: r(y),
+            },
+            OpShape::AddImm(a, x) => Op::AddImm {
+                rd: r(a),
+                rs1: r(x),
+                imm: 1,
+            },
+            OpShape::Mul(a, x, y) => Op::Mul {
+                rd: r(a),
+                rs1: r(x),
+                rs2: r(y),
+            },
+            OpShape::Load(a, x, o) => Op::Load {
+                rd: r(a),
+                base: r(x),
+                offset: o as i32,
+            },
+            OpShape::Store(a, x, o) => Op::Store {
+                src: r(a),
+                base: r(x),
+                offset: o as i32,
+            },
         };
         match b.push(Addr::new(i as u32), op, Resolution::None) {
             PushResult::Continue(_) => {}

@@ -40,6 +40,10 @@ fn residual_miss_classification() {
             s.misses_previously_built,
             s.misses_previously_built * 100 / s.trace_cache_misses.max(1),
         );
-        println!("   engine={:?}\n   store={:?}", s.engine, sim.store().counters());
+        println!(
+            "   engine={:?}\n   store={:?}",
+            s.engine,
+            sim.store().counters()
+        );
     }
 }

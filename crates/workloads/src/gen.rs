@@ -153,7 +153,10 @@ impl<'p> Generator<'p> {
         // addresses differ per function but stay in the footprint.
         for (i, &br) in BASE.iter().enumerate() {
             let offset = (self.rng.next_below(1 << 18) as i32) + i as i32 * 64;
-            self.b.push(Op::LoadImm { rd: Reg::new(br), imm: offset });
+            self.b.push(Op::LoadImm {
+                rd: Reg::new(br),
+                imm: offset,
+            });
         }
         let constructs = self.range(self.profile.constructs_per_fn);
         for _ in 0..constructs {
@@ -224,22 +227,38 @@ impl<'p> Generator<'p> {
             }
             let op = match self.rng.next_below(100) {
                 0..=24 => Op::Add { rd, rs1, rs2 },
-                25..=44 => Op::AddImm { rd, rs1, imm: self.rng.next_below(256) as i32 - 128 },
+                25..=44 => Op::AddImm {
+                    rd,
+                    rs1,
+                    imm: self.rng.next_below(256) as i32 - 128,
+                },
                 45..=69 => {
                     let base = match last_dest {
                         // Pointer chase: the previous value is the base.
                         Some(prev) if self.rng.chance(3, 10) => prev,
                         _ => self.base_reg(),
                     };
-                    Op::Load { rd, base, offset: (self.rng.next_below(64) * 8) as i32 }
+                    Op::Load {
+                        rd,
+                        base,
+                        offset: (self.rng.next_below(64) * 8) as i32,
+                    }
                 }
                 70..=79 => {
                     let base = self.base_reg();
-                    Op::Store { src: rs1, base, offset: (self.rng.next_below(64) * 8) as i32 }
+                    Op::Store {
+                        src: rs1,
+                        base,
+                        offset: (self.rng.next_below(64) * 8) as i32,
+                    }
                 }
                 80..=87 => Op::Xor { rd, rs1, rs2 },
                 88..=93 => Op::Sub { rd, rs1, rs2 },
-                94..=96 => Op::Shl { rd, rs1, shamt: (self.rng.next_below(3) + 1) as u8 },
+                94..=96 => Op::Shl {
+                    rd,
+                    rs1,
+                    shamt: (self.rng.next_below(3) + 1) as u8,
+                },
                 _ => Op::Mul { rd, rs1, rs2 },
             };
             if op.dest().is_some() {
@@ -261,7 +280,12 @@ impl<'p> Generator<'p> {
         }
         let (rs1, rs2) = (self.reg(), self.reg());
         self.b.push_branch(
-            Op::Branch { cond: BranchCond::Ne, rs1, rs2, target: top },
+            Op::Branch {
+                cond: BranchCond::Ne,
+                rs1,
+                rs2,
+                target: top,
+            },
             OutcomeModel::Loop { trip },
         );
     }
@@ -272,7 +296,12 @@ impl<'p> Generator<'p> {
         let (rs1, rs2) = (self.reg(), self.reg());
         let branch_at = self.b.push_branch(
             // Target patched once the else arm's address is known.
-            Op::Branch { cond: BranchCond::Eq, rs1, rs2, target: Addr::ZERO },
+            Op::Branch {
+                cond: BranchCond::Eq,
+                rs1,
+                rs2,
+                target: Addr::ZERO,
+            },
             model,
         );
         // Then arm.
@@ -285,7 +314,15 @@ impl<'p> Generator<'p> {
         let else_at = self.b.here();
         self.emit_block();
         let join = self.b.here();
-        self.b.patch(branch_at, Op::Branch { cond: BranchCond::Eq, rs1, rs2, target: else_at });
+        self.b.patch(
+            branch_at,
+            Op::Branch {
+                cond: BranchCond::Eq,
+                rs1,
+                rs2,
+                target: else_at,
+            },
+        );
         self.b.patch(jmp_at, Op::Jump { target: join });
     }
 
@@ -354,7 +391,12 @@ impl<'p> Generator<'p> {
         let depth = 2 + self.rng.next_below(4);
         let (rs1, rs2) = (self.reg(), self.reg());
         let branch_at = self.b.push_branch(
-            Op::Branch { cond: BranchCond::Eq, rs1, rs2, target: Addr::ZERO },
+            Op::Branch {
+                cond: BranchCond::Eq,
+                rs1,
+                rs2,
+                target: Addr::ZERO,
+            },
             // taken = recurse again; exits (not-taken) every `depth`.
             OutcomeModel::Loop { trip: depth },
         );
@@ -365,7 +407,12 @@ impl<'p> Generator<'p> {
         self.b.push(Op::Nop);
         self.b.patch(
             branch_at,
-            Op::Branch { cond: BranchCond::Eq, rs1, rs2, target: skip },
+            Op::Branch {
+                cond: BranchCond::Eq,
+                rs1,
+                rs2,
+                target: skip,
+            },
         );
     }
 
@@ -374,13 +421,25 @@ impl<'p> Generator<'p> {
         let seed = self.rng.next_u64();
         if self.rng.chance(self.profile.strongly_biased_permille, 1000) {
             if self.rng.chance(1, 2) {
-                OutcomeModel::Biased { num: 39, denom: 40, seed }
+                OutcomeModel::Biased {
+                    num: 39,
+                    denom: 40,
+                    seed,
+                }
             } else {
-                OutcomeModel::Biased { num: 1, denom: 40, seed }
+                OutcomeModel::Biased {
+                    num: 1,
+                    denom: 40,
+                    seed,
+                }
             }
         } else {
             let num = 6 + self.rng.next_below(9); // 30–70 %
-            OutcomeModel::Biased { num, denom: 20, seed }
+            OutcomeModel::Biased {
+                num,
+                denom: 20,
+                seed,
+            }
         }
     }
 
@@ -393,7 +452,11 @@ impl<'p> Generator<'p> {
         let group_size = (self.functions / groups).max(1);
         for g in 0..groups {
             let lo = g * group_size;
-            let hi = if g == groups - 1 { self.functions } else { (g + 1) * group_size };
+            let hi = if g == groups - 1 {
+                self.functions
+            } else {
+                (g + 1) * group_size
+            };
             let top = self.b.here();
             // Call the top few functions of the group: they sit at
             // the root of the group's call DAG.
@@ -404,8 +467,15 @@ impl<'p> Generator<'p> {
             }
             let (rs1, rs2) = (self.reg(), self.reg());
             self.b.push_branch(
-                Op::Branch { cond: BranchCond::Ne, rs1, rs2, target: top },
-                OutcomeModel::Loop { trip: self.profile.reps_per_group.max(1) },
+                Op::Branch {
+                    cond: BranchCond::Ne,
+                    rs1,
+                    rs2,
+                    target: top,
+                },
+                OutcomeModel::Loop {
+                    trip: self.profile.reps_per_group.max(1),
+                },
             );
         }
         self.b.push(Op::Halt);

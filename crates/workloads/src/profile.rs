@@ -62,7 +62,14 @@ impl Benchmark {
                 constructs_per_fn: (3, 6),
                 block_len: (4, 10),
                 loop_trip: (16, 64),
-                weights: ConstructWeights { straight: 30, looped: 40, if_else: 20, call: 10, switch: 0, recurse: 0 },
+                weights: ConstructWeights {
+                    straight: 30,
+                    looped: 40,
+                    if_else: 20,
+                    call: 10,
+                    switch: 0,
+                    recurse: 0,
+                },
                 strongly_biased_permille: 850,
                 phase_groups: 1,
                 reps_per_group: 8,
@@ -76,7 +83,14 @@ impl Benchmark {
                 constructs_per_fn: (4, 9),
                 block_len: (3, 8),
                 loop_trip: (2, 8),
-                weights: ConstructWeights { straight: 22, looped: 18, if_else: 38, call: 16, switch: 4, recurse: 2 },
+                weights: ConstructWeights {
+                    straight: 22,
+                    looped: 18,
+                    if_else: 38,
+                    call: 16,
+                    switch: 4,
+                    recurse: 2,
+                },
                 strongly_biased_permille: 700,
                 phase_groups: 6,
                 reps_per_group: 3,
@@ -90,7 +104,14 @@ impl Benchmark {
                 constructs_per_fn: (4, 9),
                 block_len: (3, 8),
                 loop_trip: (2, 6),
-                weights: ConstructWeights { straight: 22, looped: 16, if_else: 44, call: 16, switch: 2, recurse: 0 },
+                weights: ConstructWeights {
+                    straight: 22,
+                    looped: 16,
+                    if_else: 44,
+                    call: 16,
+                    switch: 2,
+                    recurse: 0,
+                },
                 strongly_biased_permille: 420,
                 phase_groups: 4,
                 reps_per_group: 3,
@@ -103,7 +124,14 @@ impl Benchmark {
                 constructs_per_fn: (3, 6),
                 block_len: (5, 12),
                 loop_trip: (16, 64),
-                weights: ConstructWeights { straight: 30, looped: 42, if_else: 18, call: 10, switch: 0, recurse: 0 },
+                weights: ConstructWeights {
+                    straight: 30,
+                    looped: 42,
+                    if_else: 18,
+                    call: 10,
+                    switch: 0,
+                    recurse: 0,
+                },
                 strongly_biased_permille: 880,
                 phase_groups: 1,
                 reps_per_group: 8,
@@ -117,7 +145,14 @@ impl Benchmark {
                 constructs_per_fn: (3, 7),
                 block_len: (3, 7),
                 loop_trip: (2, 8),
-                weights: ConstructWeights { straight: 24, looped: 14, if_else: 30, call: 16, switch: 8, recurse: 8 },
+                weights: ConstructWeights {
+                    straight: 24,
+                    looped: 14,
+                    if_else: 30,
+                    call: 16,
+                    switch: 8,
+                    recurse: 8,
+                },
                 strongly_biased_permille: 680,
                 phase_groups: 2,
                 reps_per_group: 5,
@@ -129,7 +164,14 @@ impl Benchmark {
                 constructs_per_fn: (4, 8),
                 block_len: (3, 8),
                 loop_trip: (3, 10),
-                weights: ConstructWeights { straight: 26, looped: 22, if_else: 32, call: 16, switch: 4, recurse: 0 },
+                weights: ConstructWeights {
+                    straight: 26,
+                    looped: 22,
+                    if_else: 32,
+                    call: 16,
+                    switch: 4,
+                    recurse: 0,
+                },
                 strongly_biased_permille: 760,
                 phase_groups: 3,
                 reps_per_group: 4,
@@ -142,7 +184,14 @@ impl Benchmark {
                 constructs_per_fn: (4, 8),
                 block_len: (3, 8),
                 loop_trip: (2, 8),
-                weights: ConstructWeights { straight: 22, looped: 16, if_else: 30, call: 16, switch: 12, recurse: 4 },
+                weights: ConstructWeights {
+                    straight: 22,
+                    looped: 16,
+                    if_else: 30,
+                    call: 16,
+                    switch: 12,
+                    recurse: 4,
+                },
                 strongly_biased_permille: 700,
                 phase_groups: 4,
                 reps_per_group: 4,
@@ -156,7 +205,14 @@ impl Benchmark {
                 constructs_per_fn: (6, 12),
                 block_len: (4, 9),
                 loop_trip: (2, 8),
-                weights: ConstructWeights { straight: 22, looped: 16, if_else: 34, call: 26, switch: 2, recurse: 0 },
+                weights: ConstructWeights {
+                    straight: 22,
+                    looped: 16,
+                    if_else: 34,
+                    call: 26,
+                    switch: 2,
+                    recurse: 0,
+                },
                 strongly_biased_permille: 950,
                 phase_groups: 3,
                 reps_per_group: 3,
@@ -169,7 +225,12 @@ impl Benchmark {
     /// The benchmarks whose working sets stress the trace cache
     /// (paper Sections 5.3 and 6 report performance for these).
     pub fn large_working_set() -> [Benchmark; 4] {
-        [Benchmark::Gcc, Benchmark::Go, Benchmark::Perl, Benchmark::Vortex]
+        [
+            Benchmark::Gcc,
+            Benchmark::Go,
+            Benchmark::Perl,
+            Benchmark::Vortex,
+        ]
     }
 }
 
@@ -209,7 +270,9 @@ impl FromStr for Benchmark {
         Benchmark::ALL
             .into_iter()
             .find(|b| b.name() == lower || (lower == "lisp" && *b == Benchmark::Li))
-            .ok_or(ParseBenchmarkError { input: s.to_string() })
+            .ok_or(ParseBenchmarkError {
+                input: s.to_string(),
+            })
     }
 }
 
@@ -274,8 +337,7 @@ mod tests {
 
     #[test]
     fn all_benchmarks_have_distinct_names() {
-        let names: std::collections::HashSet<_> =
-            Benchmark::ALL.iter().map(|b| b.name()).collect();
+        let names: std::collections::HashSet<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
         assert_eq!(names.len(), 8);
     }
 

@@ -96,9 +96,8 @@ mod tests {
 
     #[test]
     fn footprint_ordering_visible_in_stats() {
-        let size = |b: Benchmark| {
-            static_stats(&WorkloadBuilder::new(b).seed(1).build()).code_bytes()
-        };
+        let size =
+            |b: Benchmark| static_stats(&WorkloadBuilder::new(b).seed(1).build()).code_bytes();
         assert!(size(Benchmark::Gcc) > 64 * 1024, "gcc exceeds the I-cache");
         assert!(size(Benchmark::Compress) < 8 * 1024);
     }

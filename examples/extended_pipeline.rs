@@ -27,8 +27,14 @@ fn main() {
 
     println!("benchmark: {benchmark}\n");
     let base = run("baseline (256 TC)", SimConfig::baseline(256));
-    let precon = run("preconstruction (128+128)", SimConfig::with_precon(128, 128));
-    let preproc = run("preprocessing (256 TC)", SimConfig::baseline(256).with_preprocess());
+    let precon = run(
+        "preconstruction (128+128)",
+        SimConfig::with_precon(128, 128),
+    );
+    let preproc = run(
+        "preprocessing (256 TC)",
+        SimConfig::baseline(256).with_preprocess(),
+    );
     let combined = run(
         "combined (128+128, preproc)",
         SimConfig::with_precon(128, 128).with_preprocess(),

@@ -25,7 +25,11 @@ fn r(i: u8) -> Reg {
 /// paper's basic blocks.
 fn block(b: &mut ProgramBuilder, len: u32) {
     for _ in 0..len {
-        b.push(Op::AddImm { rd: r(1), rs1: r(1), imm: 1 });
+        b.push(Op::AddImm {
+            rd: r(1),
+            rs1: r(1),
+            imm: 1,
+        });
     }
 }
 
@@ -43,7 +47,12 @@ fn build_figure2() -> (Program, Addr) {
     let i_top = b.here();
     block(&mut b, 4); // i
     b.push_branch(
-        Op::Branch { cond: BranchCond::Ne, rs1: r(2), rs2: r(3), target: i_top },
+        Op::Branch {
+            cond: BranchCond::Ne,
+            rs1: r(2),
+            rs2: r(3),
+            target: i_top,
+        },
         OutcomeModel::Loop { trip: 2 },
     );
     block(&mut b, 3); // j
@@ -55,14 +64,28 @@ fn build_figure2() -> (Program, Addr) {
     let c_top = b.here();
     block(&mut b, 3); // c
     b.push_branch(
-        Op::Branch { cond: BranchCond::Ne, rs1: r(2), rs2: r(3), target: c_top },
+        Op::Branch {
+            cond: BranchCond::Ne,
+            rs1: r(2),
+            rs2: r(3),
+            target: c_top,
+        },
         OutcomeModel::Loop { trip: 3 },
     );
     // d, then branch to f (else) or fall into e.
     block(&mut b, 2); // d
     let br_at = b.push_branch(
-        Op::Branch { cond: BranchCond::Eq, rs1: r(4), rs2: r(5), target: Addr::ZERO },
-        OutcomeModel::Biased { num: 1, denom: 2, seed: 42 },
+        Op::Branch {
+            cond: BranchCond::Eq,
+            rs1: r(4),
+            rs2: r(5),
+            target: Addr::ZERO,
+        },
+        OutcomeModel::Biased {
+            num: 1,
+            denom: 2,
+            seed: 42,
+        },
     );
     block(&mut b, 2); // e
     let jmp_at = b.push(Op::Jump { target: Addr::ZERO });
@@ -71,7 +94,15 @@ fn build_figure2() -> (Program, Addr) {
     let g_at = b.here();
     block(&mut b, 2); // g
     b.push(Op::Return);
-    b.patch(br_at, Op::Branch { cond: BranchCond::Eq, rs1: r(4), rs2: r(5), target: f_at });
+    b.patch(
+        br_at,
+        Op::Branch {
+            cond: BranchCond::Eq,
+            rs1: r(4),
+            rs2: r(5),
+            target: f_at,
+        },
+    );
     b.patch(jmp_at, Op::Jump { target: g_at });
     b.patch(jal_at, Op::Call { target: proc });
     b.record_function("main", Addr::ZERO);
@@ -107,7 +138,10 @@ fn main() {
 
     // Dump the buffer contents, ordered by start address — these are
     // the traces waiting for the processor to arrive.
-    println!("traces preconstructed for Region 1 (start {}):", jal_at.next());
+    println!(
+        "traces preconstructed for Region 1 (start {}):",
+        jal_at.next()
+    );
     let mut traces: Vec<_> = store.buffers().iter().collect();
     traces.sort_by_key(|(t, _)| (t.start(), t.key().outcomes));
     for (trace, _region) in traces {

@@ -32,19 +32,31 @@ fn main() {
     let window = &events[events.len().saturating_sub(n_events)..];
     for e in window {
         match *e {
-            SimEvent::Dispatch { cycle, start, len, pe, source } => {
+            SimEvent::Dispatch {
+                cycle,
+                start,
+                len,
+                pe,
+                source,
+            } => {
                 let src = match source {
                     SupplySource::TraceCache => "trace cache",
                     SupplySource::PreconBuffer => "PRECON BUFFER",
                     SupplySource::SlowPath => "slow path",
                 };
-                println!("{cycle:>10}  {:18} {start} x{len:<2} on PE{pe} from {src}", "dispatch");
+                println!(
+                    "{cycle:>10}  {:18} {start} x{len:<2} on PE{pe} from {src}",
+                    "dispatch"
+                );
             }
             SimEvent::SlowBuildBegin { cycle, start } => {
                 println!("{cycle:>10}  {:18} building trace @ {start}", "tc miss");
             }
             SimEvent::MispredictStall { cycle, until } => {
-                println!("{cycle:>10}  {:18} frontend waits until {until}", "mispredict");
+                println!(
+                    "{cycle:>10}  {:18} frontend waits until {until}",
+                    "mispredict"
+                );
             }
             SimEvent::Retire { cycle, start } => {
                 println!("{cycle:>10}  {:18} trace @ {start}", "retire");

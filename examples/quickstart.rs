@@ -44,7 +44,11 @@ fn main() {
         sb.icache_supplied_per_kilo(),
         sp.icache_supplied_per_kilo()
     );
-    println!("IPC                      {:>8.2}            {:>8.2}", sb.ipc(), sp.ipc());
+    println!(
+        "IPC                      {:>8.2}            {:>8.2}",
+        sb.ipc(),
+        sp.ipc()
+    );
     println!(
         "\npreconstruction: {:+.1}% miss rate, {:+.1}% performance",
         (sp.tc_misses_per_kilo() / sb.tc_misses_per_kilo() - 1.0) * 100.0,

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo verification gate: tier-1 build+test, formatting, and the
+# quick throughput benchmark. Everything runs offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q =="
+cargo test -q --offline
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== bench_throughput --quick =="
+cargo run -p tpc-experiments --release --offline --bin bench_throughput -- --quick
+
+echo "verify: OK"

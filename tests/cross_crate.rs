@@ -68,7 +68,10 @@ fn trace_identity_is_reconstructible() {
                     } else {
                         ti.pc.next()
                     };
-                    Resolution::Branch { taken, next_pc: next }
+                    Resolution::Branch {
+                        taken,
+                        next_pc: next,
+                    }
                 }
                 OpClass::Return | OpClass::IndirectJump | OpClass::Halt => {
                     match dt.trace.successor() {
@@ -87,7 +90,11 @@ fn trace_identity_is_reconstructible() {
             }
         }
         let rebuilt = rebuilt.expect("trace completes at the same point");
-        assert_eq!(rebuilt.key(), dt.trace.key(), "identity is a pure function of the path");
+        assert_eq!(
+            rebuilt.key(),
+            dt.trace.key(),
+            "identity is a pure function of the path"
+        );
         assert_eq!(rebuilt.len(), dt.trace.len());
     }
 }
@@ -102,7 +109,12 @@ fn full_machine_determinism() {
             let mut sim =
                 Simulator::new(&program, SimConfig::with_precon(128, 128).with_preprocess());
             let s = sim.run(40_000);
-            (s.cycles, s.trace_cache_misses, s.precon_buffer_hits, s.ntp_mispredicts)
+            (
+                s.cycles,
+                s.trace_cache_misses,
+                s.precon_buffer_hits,
+                s.ntp_mispredicts,
+            )
         };
         assert_eq!(run(), run(), "{benchmark} deterministic");
     }

@@ -107,7 +107,10 @@ fn precon_shifts_icache_misses_to_the_engine() {
         sp.icache.demand_misses,
         sb.icache.demand_misses
     );
-    assert!(sp.icache.precon_misses > 0, "the engine takes misses of its own");
+    assert!(
+        sp.icache.precon_misses > 0,
+        "the engine takes misses of its own"
+    );
     assert!(
         sp.icache_misses_per_kilo() > sb.icache_misses_per_kilo() * 0.8,
         "total misses do not collapse: precon {:.1} vs base {:.1}",
@@ -140,7 +143,10 @@ fn extended_pipeline_combination_wins() {
     let precon = ipc(SimConfig::with_precon(128, 128));
     let preproc = ipc(SimConfig::baseline(256).with_preprocess());
     let combined = ipc(SimConfig::with_precon(128, 128).with_preprocess());
-    assert!(preproc > base, "preprocessing helps: {preproc:.3} vs {base:.3}");
+    assert!(
+        preproc > base,
+        "preprocessing helps: {preproc:.3} vs {base:.3}"
+    );
     assert!(
         combined > precon && combined > preproc,
         "combination ({combined:.3}) beats precon ({precon:.3}) and preproc ({preproc:.3})"

@@ -1,6 +1,7 @@
 //! Property-based tests over randomly generated workloads: the
 //! system-level invariants must hold for *every* seed, not just the
 //! calibrated profiles' defaults.
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 use trace_preconstruction::core::MAX_TRACE_LEN;

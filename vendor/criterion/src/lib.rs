@@ -1,0 +1,8 @@
+//! Offline placeholder for the `criterion` crate.
+//!
+//! The workspace patches `criterion` to this empty crate (see
+//! `[patch.crates-io]` in the root `Cargo.toml`) so that dependency
+//! resolution succeeds without network access. The criterion bench
+//! targets in `crates/bench` carry `required-features =
+//! ["criterion-benches"]`; enabling that feature requires removing
+//! the patch and fetching the real `criterion` from crates.io.

@@ -1,0 +1,9 @@
+//! Offline placeholder for the `proptest` crate.
+//!
+//! The workspace patches `proptest` to this empty crate (see
+//! `[patch.crates-io]` in the root `Cargo.toml`) so that `cargo
+//! build`/`cargo test` resolve without network access. The actual
+//! property-based suites are whole-file gated behind the non-default
+//! `proptest-tests` feature of each crate; enabling that feature
+//! requires removing the patch and fetching the real `proptest` from
+//! crates.io.
