@@ -203,6 +203,10 @@ impl TraceConstructor {
             _ => Resolution::None,
         };
 
+        debug_assert!(
+            self.decisions.len() <= self.decision_depth,
+            "decision stack exceeded its configured depth"
+        );
         match builder.push(pc, op, resolution) {
             PushResult::Continue(next) => {
                 self.pc = next;
@@ -213,6 +217,12 @@ impl TraceConstructor {
                 Step::TraceDone(Box::new(trace))
             }
         }
+    }
+
+    /// Pending alternative paths on the internal decision stack
+    /// (bounded by the configured decision depth).
+    pub fn pending_decisions(&self) -> usize {
+        self.decisions.len()
     }
 }
 

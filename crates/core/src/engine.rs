@@ -192,6 +192,62 @@ impl PreconEngine {
         self.built_keys.contains(&key.hash64())
     }
 
+    /// Read access to the region start-point stack (occupancy,
+    /// counters) for diagnostics and invariant checking.
+    pub fn start_stack(&self) -> &StartPointStack {
+        &self.stack
+    }
+
+    /// Checks the engine's structural invariants: the start stack
+    /// within its configured 16 + 4 bound, every constructor
+    /// assignment pointing at a live region slot, and region
+    /// worklists within their configured cap. Called by the
+    /// differential oracle after every simulation chunk.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.stack.check_invariants()?;
+        if self.stack.depth() != self.config.stack_depth.max(1)
+            || self.stack.completed_capacity() != self.config.completed_entries
+        {
+            return Err(format!(
+                "start stack shape {}+{} differs from configured {}+{}",
+                self.stack.depth(),
+                self.stack.completed_capacity(),
+                self.config.stack_depth.max(1),
+                self.config.completed_entries
+            ));
+        }
+        if self.regions.len() != self.config.prefetch_caches {
+            return Err(format!(
+                "{} region slots but {} prefetch caches configured",
+                self.regions.len(),
+                self.config.prefetch_caches
+            ));
+        }
+        for (c, a) in self.assignment.iter().enumerate() {
+            if let Some(slot) = a {
+                if *slot >= self.regions.len() {
+                    return Err(format!(
+                        "constructor {c} assigned to out-of-range region slot {slot}"
+                    ));
+                }
+            }
+        }
+        // Lattice seeding may plant up to ALIGN_QUANTUM initial
+        // entries, so the bound is the max of the two.
+        let worklist_bound = self.config.worklist_cap.max(crate::trace::ALIGN_QUANTUM);
+        for region in self.regions.iter().flatten() {
+            if region.worklist.len() > worklist_bound {
+                return Err(format!(
+                    "region {} worklist holds {} entries, cap is {}",
+                    region.id,
+                    region.worklist.len(),
+                    worklist_bound
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Observes one dispatched instruction (speculative stream).
     ///
     /// Pushes region start points for calls and backward branches and
@@ -394,6 +450,11 @@ impl PreconEngine {
         store: &mut dyn TraceStore,
     ) {
         self.stats.traces_built += 1;
+        debug_assert!(
+            trace.validate_against(program).is_ok(),
+            "constructed trace diverges from static code: {:?}",
+            trace.validate_against(program)
+        );
         if self.config.track_built_keys {
             self.built_keys.insert(trace.key().hash64());
         }

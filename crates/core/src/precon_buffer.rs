@@ -158,6 +158,7 @@ impl PreconBuffers {
             ProbeSlot::Match(i) | ProbeSlot::Free(i) => {
                 set[i] = Some(Slot { trace, region });
                 self.stats.fills += 1;
+                debug_assert!(self.check_invariants().is_ok());
                 return true;
             }
             ProbeSlot::Evict => {}
@@ -169,7 +170,7 @@ impl PreconBuffers {
             .min_by_key(|s| s.as_ref().map(|s| s.region).unwrap_or(0))
             .expect("ways > 0");
         let victim_region = victim.as_ref().map(|s| s.region).unwrap_or(0);
-        if victim_region < region {
+        let filled = if victim_region < region {
             *victim = Some(Slot { trace, region });
             self.stats.fills += 1;
             self.stats.evictions += 1;
@@ -177,7 +178,9 @@ impl PreconBuffers {
         } else {
             self.stats.rejected += 1;
             false
-        }
+        };
+        debug_assert!(self.check_invariants().is_ok());
+        filled
     }
 
     /// Number of resident traces.
@@ -189,6 +192,39 @@ impl PreconBuffers {
     /// (diagnostics and trace-dump tooling).
     pub fn iter(&self) -> impl Iterator<Item = (&Trace, u64)> {
         self.slots.iter().flatten().map(|s| (&s.trace, s.region))
+    }
+
+    /// Checks the buffers' structural invariants: occupancy never
+    /// exceeds capacity, every resident trace sits in the set its key
+    /// hashes to, and the eviction counter never exceeds the fill
+    /// counter. Called by the differential oracle and by debug
+    /// assertions after every mutation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.occupancy() > self.capacity() as usize {
+            return Err(format!(
+                "precon buffer occupancy {} exceeds capacity {}",
+                self.occupancy(),
+                self.capacity()
+            ));
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(s) = slot {
+                let range = self.set_range(s.trace.key());
+                if !range.contains(&i) {
+                    return Err(format!(
+                        "trace {:?} resident in slot {i} outside its set {range:?}",
+                        s.trace.key()
+                    ));
+                }
+            }
+        }
+        if self.stats.evictions > self.stats.fills {
+            return Err(format!(
+                "evictions {} exceed fills {}",
+                self.stats.evictions, self.stats.fills
+            ));
+        }
+        Ok(())
     }
 
     /// Counters accumulated so far.
@@ -303,6 +339,62 @@ mod tests {
         assert!(!pb.fill(mk_trace(0), 1));
         assert!(pb.take(mk_trace(0).key()).is_none());
         assert_eq!(pb.capacity(), 0);
+    }
+
+    /// Pins the full region-priority story across a region sequence:
+    /// the active (newest) region's traces always win against past
+    /// regions, never against each other, and a hit invalidates the
+    /// buffer entry after the trace is copied out — so the same
+    /// identity can be refilled by a later region.
+    #[test]
+    fn active_region_wins_against_past_only() {
+        let mut pb = PreconBuffers::with_ways(2, 2); // 1 set × 2 ways
+                                                     // Region 1 preconstructs two traces, filling the set.
+        assert!(pb.fill(mk_trace(0), 1));
+        assert!(pb.fill(mk_trace(16), 1));
+        // Region 2 becomes active: its first fill displaces a region-1
+        // trace, its second displaces the other, its third is rejected
+        // (only same-region traces remain — active never evicts active).
+        assert!(pb.fill(mk_trace(32), 2));
+        assert!(pb.fill(mk_trace(48), 2));
+        assert!(!pb.fill(mk_trace(64), 2));
+        assert_eq!(pb.stats().evictions, 2);
+        assert_eq!(pb.stats().rejected, 1);
+        // A hit frees the way (invalidate-after-copy) and the freed
+        // way is immediately fillable by the same region.
+        assert!(pb.take(mk_trace(32).key()).is_some());
+        assert_eq!(pb.occupancy(), 1);
+        assert!(pb.fill(mk_trace(64), 2), "freed way accepts a new fill");
+        pb.check_invariants().unwrap();
+    }
+
+    /// Occupancy stays within capacity and every structural invariant
+    /// holds under a randomized fill/take/contains stress mix.
+    #[test]
+    fn stress_mix_preserves_invariants() {
+        use tpc_isa::model::XorShift64;
+        let mut pb = PreconBuffers::new(8); // 4 sets × 2 ways
+        let mut rng = XorShift64::new(99);
+        for step in 0..2_000u64 {
+            let start = rng.next_below(64) * 4;
+            let region = step / 50; // advancing region ids
+            match rng.next_below(3) {
+                0 => {
+                    pb.fill(mk_trace(start), region);
+                }
+                1 => {
+                    pb.take(mk_trace(start).key());
+                }
+                _ => {
+                    pb.contains(mk_trace(start).key());
+                }
+            }
+            assert!(pb.occupancy() <= pb.capacity() as usize);
+            pb.check_invariants()
+                .unwrap_or_else(|e| panic!("step {step}: {e}"));
+        }
+        let s = pb.stats();
+        assert!(s.fills > 0 && s.hits > 0 && s.evictions <= s.fills);
     }
 
     #[test]

@@ -100,6 +100,7 @@ impl StartPointStack {
         }
         self.entries.push(StartPoint { addr, reason, seq });
         self.pushes += 1;
+        debug_assert!(self.check_invariants().is_ok());
     }
 
     /// Takes the highest-priority (newest) start point.
@@ -159,6 +160,48 @@ impl StartPointStack {
     /// (pushes accepted, pushes deduplicated, oldest entries dropped).
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.pushes, self.deduped, self.dropped_oldest)
+    }
+
+    /// Configured live-entry depth (the paper uses 16).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Configured completed-region capacity (the paper uses 4).
+    pub fn completed_capacity(&self) -> usize {
+        self.completed_cap
+    }
+
+    /// Current completed-region entry count.
+    pub fn completed_len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Checks the stack's structural invariants: live entries within
+    /// `depth`, completed entries within `completed_cap`, and no
+    /// duplicate addresses. Called by the differential oracle and by
+    /// debug assertions after every push.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.entries.len() > self.depth {
+            return Err(format!(
+                "start stack holds {} entries, depth is {}",
+                self.entries.len(),
+                self.depth
+            ));
+        }
+        if self.completed.len() > self.completed_cap {
+            return Err(format!(
+                "completed list holds {} entries, capacity is {}",
+                self.completed.len(),
+                self.completed_cap
+            ));
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if self.entries[..i].iter().any(|p| p.addr == e.addr) {
+                return Err(format!("duplicate start point {:?}", e.addr));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -250,5 +293,52 @@ mod tests {
             st.push(Addr::new(i), StartReason::CallReturn, i as u64);
         }
         assert_eq!(st.len(), 16);
+    }
+
+    /// Pins the paper's exact 16 + 4 shape: sixteen live entries,
+    /// four completed-region entries, and both bounds are hard — the
+    /// seventeenth live push drops the oldest, the fifth completed
+    /// region ages out the first.
+    #[test]
+    fn paper_default_is_sixteen_plus_four() {
+        let mut st = StartPointStack::paper_default();
+        assert_eq!(st.depth(), 16);
+        assert_eq!(st.completed_capacity(), 4);
+        for i in 0..17 {
+            st.push(Addr::new(i), StartReason::LoopExit, i as u64);
+        }
+        assert_eq!(st.len(), 16);
+        let (_, _, dropped) = st.counters();
+        assert_eq!(dropped, 1);
+        // Newest-first across the whole live window; the oldest
+        // (addr 0) is the one that was discarded.
+        assert_eq!(st.peek().unwrap().addr, Addr::new(16));
+        for i in 100..105 {
+            st.mark_completed(Addr::new(i));
+        }
+        assert_eq!(st.completed_len(), 4);
+        assert!(!st.is_completed(Addr::new(100))); // aged out FIFO
+        assert!(st.is_completed(Addr::new(104)));
+        st.check_invariants().unwrap();
+    }
+
+    /// Pins pop-on-misspeculation: recovery removes exactly the
+    /// entries planted by wrong-path (younger) dispatches and keeps
+    /// newest-first order among the survivors.
+    #[test]
+    fn misspeculation_squash_preserves_survivor_order() {
+        let mut st = StartPointStack::paper_default();
+        st.push(Addr::new(1), StartReason::CallReturn, 10);
+        st.push(Addr::new(2), StartReason::LoopExit, 20);
+        st.push(Addr::new(3), StartReason::CallReturn, 30); // wrong path
+        st.push(Addr::new(4), StartReason::LoopExit, 40); // wrong path
+        st.squash_younger_than(20);
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.pop().unwrap().addr, Addr::new(2));
+        assert_eq!(st.pop().unwrap().addr, Addr::new(1));
+        // A squashed address may legitimately be re-pushed later by a
+        // correct-path dispatch.
+        st.push(Addr::new(3), StartReason::CallReturn, 50);
+        assert_eq!(st.peek().unwrap().addr, Addr::new(3));
     }
 }

@@ -96,6 +96,11 @@ pub trait TraceStore: std::fmt::Debug {
 
     /// Resets counters (not contents).
     fn reset_counters(&mut self);
+
+    /// Checks the store's structural invariants (occupancy within
+    /// capacity, counter conservation). Called by the differential
+    /// oracle after every simulation chunk.
+    fn check_invariants(&self) -> Result<(), String>;
 }
 
 // ---------------------------------------------------------------------------
@@ -197,6 +202,24 @@ impl TraceStore for SplitStore {
         self.counters = StoreCounters::default();
         self.tc.reset_stats();
         self.pb.reset_stats();
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        let c = self.counters;
+        if c.fetches != c.tc_hits + c.precon_hits + c.misses {
+            return Err(format!(
+                "store counters do not conserve: {} fetches != {} + {} + {}",
+                c.fetches, c.tc_hits, c.precon_hits, c.misses
+            ));
+        }
+        if self.tc.occupancy() > self.tc.capacity() as usize {
+            return Err(format!(
+                "trace cache occupancy {} exceeds capacity {}",
+                self.tc.occupancy(),
+                self.tc.capacity()
+            ));
+        }
+        self.pb.check_invariants()
     }
 }
 
@@ -480,6 +503,42 @@ impl TraceStore for UnifiedStore {
 
     fn reset_counters(&mut self) {
         self.counters = StoreCounters::default();
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        let c = self.counters;
+        if c.fetches != c.tc_hits + c.precon_hits + c.misses {
+            return Err(format!(
+                "unified counters do not conserve: {} fetches != {} + {} + {}",
+                c.fetches, c.tc_hits, c.precon_hits, c.misses
+            ));
+        }
+        if self.slots.len() != self.config.entries as usize {
+            return Err(format!(
+                "unified store holds {} slots, configured for {}",
+                self.slots.len(),
+                self.config.entries
+            ));
+        }
+        // Region tags can outlive a repartition (a pending precon
+        // entry stranded in a demand way), so the pending-entry bound
+        // is the total capacity, not the current precon partition.
+        let pending = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|s| s.region.is_some())
+            .count();
+        if pending > self.config.entries as usize {
+            return Err(format!(
+                "{} pending preconstructed entries exceed capacity {}",
+                pending, self.config.entries
+            ));
+        }
+        if self.pb_ways as usize > UNIFIED_WAYS {
+            return Err(format!("pb_ways {} exceeds associativity", self.pb_ways));
+        }
+        Ok(())
     }
 }
 

@@ -138,6 +138,100 @@ impl Trace {
     pub fn shares_storage_with(&self, other: &Trace) -> bool {
         Arc::ptr_eq(&self.instrs, &other.instrs)
     }
+
+    /// Validates the trace against the static code it claims to
+    /// snapshot — the differential oracle's conservation invariant
+    /// for every trace-cache hit, and a debug assertion on every
+    /// constructed trace:
+    ///
+    /// * every instruction appears verbatim at its address in the
+    ///   program;
+    /// * consecutive instructions follow the encoded path (branch
+    ///   outcomes from the key, static targets for jumps/calls);
+    /// * the key's branch count matches the snapshot;
+    /// * the stop kind is consistent with the final instruction
+    ///   (traces end only at returns, indirect jumps, halts, the
+    ///   length cap, or the alignment boundary — DESIGN.md §selection).
+    pub fn validate_against(&self, program: &tpc_isa::Program) -> Result<(), String> {
+        if self.instrs.is_empty() || self.instrs.len() > MAX_TRACE_LEN {
+            return Err(format!("trace length {} out of bounds", self.instrs.len()));
+        }
+        if self.key.start != self.instrs[0].pc {
+            return Err(format!(
+                "key start {:?} != first instruction {:?}",
+                self.key.start, self.instrs[0].pc
+            ));
+        }
+        let mut branches = 0u8;
+        for (i, ti) in self.instrs.iter().enumerate() {
+            match program.fetch(ti.pc) {
+                Some(op) if *op == ti.op => {}
+                Some(op) => {
+                    return Err(format!(
+                        "instruction at {:?} diverges from static code: trace {:?}, program {:?}",
+                        ti.pc, ti.op, op
+                    ));
+                }
+                None => return Err(format!("address {:?} outside the program", ti.pc)),
+            }
+            let expected_next = match ti.op.class() {
+                OpClass::Branch => {
+                    let taken = self
+                        .branch_outcome(branches)
+                        .ok_or_else(|| format!("branch at {:?} beyond key branch count", ti.pc))?;
+                    branches += 1;
+                    if taken {
+                        ti.op.static_target()
+                    } else {
+                        Some(ti.pc.next())
+                    }
+                }
+                OpClass::Jump | OpClass::Call => ti.op.static_target(),
+                // Successors of returns/indirect jumps/halts are
+                // dynamic; they terminate the trace anyway.
+                OpClass::Return | OpClass::IndirectJump | OpClass::Halt => None,
+                _ => Some(ti.pc.next()),
+            };
+            if let Some(next) = self.instrs.get(i + 1) {
+                match expected_next {
+                    Some(e) if e == next.pc => {}
+                    Some(e) => {
+                        return Err(format!(
+                            "path break after {:?}: expected {:?}, trace has {:?}",
+                            ti.pc, e, next.pc
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "trace continues past terminating instruction at {:?}",
+                            ti.pc
+                        ));
+                    }
+                }
+            }
+        }
+        if branches != self.key.branch_count {
+            return Err(format!(
+                "key claims {} branches, trace holds {}",
+                self.key.branch_count, branches
+            ));
+        }
+        let last = self.instrs.last().expect("non-empty").op.class();
+        let stop_ok = match self.stop {
+            TraceStop::Return => last == OpClass::Return,
+            TraceStop::IndirectJump => last == OpClass::IndirectJump,
+            TraceStop::Halt => last == OpClass::Halt,
+            TraceStop::Full => self.instrs.len() == MAX_TRACE_LEN,
+            TraceStop::Alignment => self.instrs.iter().any(|ti| ti.op.is_backward_branch(ti.pc)),
+        };
+        if !stop_ok {
+            return Err(format!(
+                "stop kind {:?} inconsistent with trace contents",
+                self.stop
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// What the builder wants after accepting an instruction.

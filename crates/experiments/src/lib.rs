@@ -30,5 +30,5 @@ pub mod runner;
 pub mod tables;
 pub mod workload_stats;
 
-pub use par_sweep::{par_map, run_cells, sweep_grid, SweepCell};
+pub use par_sweep::{par_map, run_cells, run_cells_timed, sweep_grid, SweepCell};
 pub use runner::{simulate, simulate_many, RunParams};

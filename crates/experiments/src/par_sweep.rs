@@ -106,9 +106,26 @@ impl SweepCell {
 /// Runs every cell with `params`' warm-up/measure window, fanning out
 /// across `params.jobs` threads. Results are in cell order.
 pub fn run_cells(cells: &[SweepCell], params: RunParams) -> Vec<SimStats> {
+    run_cells_timed(cells, params)
+        .into_iter()
+        .map(|(stats, _)| stats)
+        .collect()
+}
+
+/// Like [`run_cells`], but also reports each cell's wall time in
+/// milliseconds (measured on the worker that ran it).
+///
+/// The per-cell breakdown separates the two ways a sweep can be slow:
+/// uneven cell costs (one expensive configuration dominating the
+/// critical path) versus scheduling overhead (the *sum* of cell times
+/// growing when `jobs` exceeds the available cores and threads
+/// time-slice against each other). `bench_throughput` records both.
+pub fn run_cells_timed(cells: &[SweepCell], params: RunParams) -> Vec<(SimStats, f64)> {
     par_map(cells, effective_jobs(params.jobs), |cell| {
+        let t = std::time::Instant::now();
         let mut sim = Simulator::new(&cell.program, cell.config.clone());
-        sim.run_with_warmup(params.warmup, params.measure)
+        let stats = sim.run_with_warmup(params.warmup, params.measure);
+        (stats, t.elapsed().as_secs_f64() * 1e3)
     })
 }
 

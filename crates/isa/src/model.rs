@@ -56,6 +56,29 @@ impl XorShift64 {
     pub fn chance(&mut self, num: u32, denom: u32) -> bool {
         self.next_below(denom) < num
     }
+
+    /// A value uniform in `[lo, hi]` (inclusive); `lo <= hi`.
+    ///
+    /// Generator hook for the structure-aware program fuzzer (sizes,
+    /// trip counts, arm counts).
+    #[inline]
+    pub fn next_in(&mut self, lo: u32, hi: u32) -> u32 {
+        debug_assert!(lo <= hi);
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Splits off an independent child generator whose stream is
+    /// decorrelated from this one's continuation.
+    ///
+    /// Generator hook for the fuzzer: each program construct forks
+    /// its own stream so inserting one construct does not perturb the
+    /// randomness of every later construct (which keeps shrinking
+    /// effective).
+    pub fn fork(&mut self) -> XorShift64 {
+        // Draw one value to advance self, then decorrelate the child
+        // with an odd constant (golden-ratio increment).
+        XorShift64::new(self.next_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
 }
 
 /// Deterministic outcome model for one static conditional branch.

@@ -1,0 +1,241 @@
+//! The differential runner.
+//!
+//! Executes every simulator configuration over a program and asserts
+//! that each one's retired-instruction stream is *identical* to the
+//! stream the golden-model [`Oracle`] produces — the fundamental
+//! correctness property of a trace-cache frontend: no matter how
+//! traces are built, cached, preconstructed, or promoted, the machine
+//! must retire exactly the architectural instruction sequence.
+//!
+//! Alongside the stream comparison the runner re-checks the
+//! conservation invariants after every chunk (fetch accounting,
+//! buffer occupancy ≤ capacity, start-stack depth ≤ 16+4) and
+//! verifies that every retired instruction exists verbatim in the
+//! static code at its claimed address.
+
+use crate::interp::Oracle;
+use tpc_isa::Program;
+use tpc_processor::{SimConfig, Simulator};
+
+/// How many instructions each comparison chunk covers. Chunking keeps
+/// memory bounded on long runs and localises invariant failures.
+const CHUNK: u64 = 4096;
+
+/// A named simulator configuration under differential test.
+#[derive(Debug, Clone)]
+pub struct NamedConfig {
+    /// Short human-readable name, used in divergence reports.
+    pub name: &'static str,
+    /// The configuration.
+    pub config: SimConfig,
+}
+
+/// The standard configuration matrix: every frontend the experiments
+/// exercise, sized small so fuzzed programs actually stress
+/// replacement, eviction, and the region-priority rules.
+pub fn standard_configs() -> Vec<NamedConfig> {
+    vec![
+        NamedConfig {
+            name: "baseline",
+            config: SimConfig::baseline(64),
+        },
+        NamedConfig {
+            name: "precon",
+            config: SimConfig::with_precon(64, 64),
+        },
+        NamedConfig {
+            name: "combined",
+            config: SimConfig::with_precon(64, 64).with_preprocess(),
+        },
+        NamedConfig {
+            name: "unified",
+            config: SimConfig::unified(64, 1, 256),
+        },
+    ]
+}
+
+/// A single divergence between a simulator configuration and the
+/// oracle (or a violated invariant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Which configuration diverged.
+    pub config: &'static str,
+    /// Zero-based index into the retired-instruction stream (or the
+    /// retirement count at which an invariant failed).
+    pub index: u64,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] at retired instruction {}: {}",
+            self.config, self.index, self.detail
+        )
+    }
+}
+
+/// Summary of a clean differential run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiffReport {
+    /// Configurations exercised.
+    pub configs: usize,
+    /// Instructions compared per configuration.
+    pub instructions: u64,
+    /// Instructions compared in the executor cross-check.
+    pub executor_checked: u64,
+}
+
+/// Cross-checks the production executor against the oracle, then runs
+/// every configuration in `configs` for at least `instructions`
+/// retirements each, comparing retirement streams chunk by chunk.
+///
+/// Returns the first divergence found, or a summary when everything
+/// agrees.
+pub fn run_differential(
+    program: &Program,
+    configs: &[NamedConfig],
+    instructions: u64,
+) -> Result<DiffReport, Divergence> {
+    check_executor(program, instructions)?;
+
+    for nc in configs {
+        check_config(program, nc, instructions)?;
+    }
+
+    Ok(DiffReport {
+        configs: configs.len(),
+        instructions,
+        executor_checked: instructions,
+    })
+}
+
+/// Step-by-step comparison of the production [`tpc_exec::Executor`]
+/// against the oracle: pc, opcode, branch direction, successor, and
+/// effective memory address must all agree at every instruction.
+fn check_executor(program: &Program, instructions: u64) -> Result<(), Divergence> {
+    let mut oracle = Oracle::new(program);
+    let mut exec = tpc_exec::Executor::new(program);
+    for i in 0..instructions {
+        let want = oracle.step();
+        let got = exec.next().expect("executor streams are infinite");
+        if got.pc != want.pc
+            || got.op != want.op
+            || got.taken != want.taken
+            || got.next_pc != want.next_pc
+            || got.mem_addr != want.mem_addr
+        {
+            return Err(Divergence {
+                config: "executor",
+                index: i,
+                detail: format!("oracle {want:?} but executor {got:?}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs one simulator configuration and compares its retirement
+/// stream against a fresh oracle advanced in lockstep.
+fn check_config(program: &Program, nc: &NamedConfig, instructions: u64) -> Result<(), Divergence> {
+    let mut config = nc.config.clone();
+    config.record_retirement = true;
+    let mut sim = Simulator::new(program, config);
+    let mut oracle = Oracle::new(program);
+    let mut compared: u64 = 0;
+
+    while compared < instructions {
+        sim.run(CHUNK.min(instructions - compared));
+        let retired = sim.take_retirement();
+        if retired.is_empty() {
+            return Err(Divergence {
+                config: nc.name,
+                index: compared,
+                detail: "simulator made progress but retired nothing".into(),
+            });
+        }
+        for r in retired {
+            let want = oracle.step();
+            // Conservation: the retired instruction must exist
+            // verbatim in the static code at its claimed address —
+            // a trace-cache hit can never supply fabricated
+            // instructions.
+            match program.fetch(r.pc) {
+                Some(&op) if op == want.op => {}
+                other => {
+                    return Err(Divergence {
+                        config: nc.name,
+                        index: compared,
+                        detail: format!(
+                            "retired pc {} does not match static code ({other:?})",
+                            r.pc
+                        ),
+                    });
+                }
+            }
+            if r.pc != want.pc || r.taken != want.taken {
+                return Err(Divergence {
+                    config: nc.name,
+                    index: compared,
+                    detail: format!(
+                        "oracle retired pc={} taken={} but simulator pc={} taken={}",
+                        want.pc, want.taken, r.pc, r.taken
+                    ),
+                });
+            }
+            compared += 1;
+        }
+        if let Err(e) = sim.check_invariants() {
+            return Err(Divergence {
+                config: nc.name,
+                index: compared,
+                detail: format!("invariant violated: {e}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_isa::model::OutcomeModel;
+    use tpc_isa::{BranchCond, Op, ProgramBuilder, Reg};
+
+    fn tiny_loop() -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.here();
+        b.push(Op::AddImm {
+            rd: Reg::new(1),
+            rs1: Reg::new(1),
+            imm: 1,
+        });
+        b.push_branch(
+            Op::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::new(1),
+                rs2: Reg::ZERO,
+                target: top,
+            },
+            OutcomeModel::Loop { trip: 3 },
+        );
+        b.push(Op::Halt);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn standard_matrix_has_all_frontends() {
+        let names: Vec<_> = standard_configs().iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["baseline", "precon", "combined", "unified"]);
+    }
+
+    #[test]
+    fn tiny_loop_matches_everywhere() {
+        let p = tiny_loop();
+        let report = run_differential(&p, &standard_configs(), 2_000).unwrap();
+        assert_eq!(report.configs, 4);
+        assert!(report.instructions >= 2_000);
+    }
+}

@@ -1,0 +1,448 @@
+//! Structure-aware program fuzzer.
+//!
+//! Generates random — but always *valid* — [`Program`]s from a small
+//! `(seed, size, features)` triple. Generation is structure-aware:
+//! instead of drawing raw opcodes, it composes the control-flow
+//! shapes the preconstruction mechanisms actually key on — counted
+//! loops (back edges with known trip counts), weakly and strongly
+//! biased diamonds, correlated pattern branches, call trees over an
+//! acyclic function DAG, and indirect switches — so a short fuzz run
+//! exercises trace termination rules, the alignment heuristic,
+//! region-priority replacement, and the start-point stack far more
+//! densely than uniform random code would.
+//!
+//! A failing scenario shrinks greedily (drop feature classes, then
+//! halve the size) and prints as a one-line reproducible command.
+
+use tpc_isa::model::{IndirectModel, OutcomeModel, XorShift64};
+use tpc_isa::{Addr, BranchCond, Op, Program, ProgramBuilder, Reg};
+
+/// Feature bit: counted loops (backward branches with `Loop` models).
+pub const FEAT_LOOPS: u32 = 1;
+/// Feature bit: forward-branch diamonds with biased outcome models.
+pub const FEAT_DIAMONDS: u32 = 1 << 1;
+/// Feature bit: calls into an acyclic DAG of helper functions.
+pub const FEAT_CALLS: u32 = 1 << 2;
+/// Feature bit: indirect jumps over multi-arm switch tables.
+pub const FEAT_INDIRECT: u32 = 1 << 3;
+/// Feature bit: correlated (fixed-pattern) branches.
+pub const FEAT_PATTERNS: u32 = 1 << 4;
+/// All feature bits.
+pub const FEAT_ALL: u32 = FEAT_LOOPS | FEAT_DIAMONDS | FEAT_CALLS | FEAT_INDIRECT | FEAT_PATTERNS;
+
+/// A reproducible fuzz scenario: everything needed to regenerate one
+/// program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Approximate program size in instructions.
+    pub size: u32,
+    /// Enabled construct classes ([`FEAT_LOOPS`] …).
+    pub features: u32,
+}
+
+impl Scenario {
+    /// The default scenario for `seed`: ~800 instructions, every
+    /// construct class enabled.
+    pub fn new(seed: u64) -> Self {
+        Scenario {
+            seed,
+            size: 800,
+            features: FEAT_ALL,
+        }
+    }
+
+    /// The command line that reproduces this exact scenario.
+    pub fn command(&self) -> String {
+        format!(
+            "cargo run -p tpc-oracle --bin fuzz_sim -- --seed {} --size {} --features 0x{:x} --iters 1",
+            self.seed, self.size, self.features
+        )
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Scenario {{ seed: {}, size: {}, features: 0x{:x} }}",
+            self.seed, self.size, self.features
+        )
+    }
+}
+
+/// Generates the program a scenario describes. Total function:
+/// the same scenario always yields the same program, and every
+/// scenario yields a program that passes [`ProgramBuilder::build`]
+/// validation.
+pub fn generate(s: &Scenario) -> Program {
+    let mut g = Gen {
+        b: ProgramBuilder::new(),
+        rng: XorShift64::new(s.seed ^ (s.size as u64) << 32 ^ s.features as u64),
+        features: s.features,
+        funcs: Vec::new(),
+    };
+
+    // Helper functions first (leaf-first: calls only ever target
+    // already-emitted entries, so the call graph is acyclic and the
+    // architectural call depth stays bounded).
+    let helpers = if s.features & FEAT_CALLS != 0 {
+        g.rng.next_in(1, 4)
+    } else {
+        0
+    };
+    let budget = (s.size / (helpers + 1)).max(8);
+    for i in 0..helpers {
+        let entry = g.emit_body(budget, false);
+        g.b.record_function(format!("f{i}"), entry);
+        g.funcs.push(entry);
+    }
+
+    let main = g.emit_body(budget, true);
+    g.b.record_function("main", main);
+    g.b.set_entry(main);
+    g.b.build()
+        .expect("generator must only emit valid programs")
+}
+
+struct Gen {
+    b: ProgramBuilder,
+    rng: XorShift64,
+    features: u32,
+    /// Entries of already-emitted helper functions.
+    funcs: Vec<Addr>,
+}
+
+impl Gen {
+    /// Emits one function body of roughly `budget` instructions,
+    /// terminated by `halt` (main) or `return` (helpers); returns its
+    /// entry address.
+    fn emit_body(&mut self, budget: u32, is_main: bool) -> Addr {
+        let entry = self.b.here();
+        let mut emitted = 0u32;
+        while emitted < budget {
+            emitted += self.emit_construct();
+        }
+        self.b.push(if is_main { Op::Halt } else { Op::Return });
+        entry
+    }
+
+    /// Emits one randomly chosen enabled construct; returns the
+    /// number of instructions it occupied.
+    fn emit_construct(&mut self) -> u32 {
+        // Each construct forks its own PRNG stream so that inserting
+        // or dropping one construct does not reshuffle every later
+        // one — this is what makes shrinking converge.
+        let mut rng = self.rng.fork();
+        let mut choices: Vec<u8> = vec![0]; // straight-line ALU always available
+        if self.features & FEAT_LOOPS != 0 {
+            choices.push(1);
+        }
+        if self.features & FEAT_DIAMONDS != 0 {
+            choices.push(2);
+        }
+        if self.features & FEAT_CALLS != 0 && !self.funcs.is_empty() {
+            choices.push(3);
+        }
+        if self.features & FEAT_INDIRECT != 0 {
+            choices.push(4);
+        }
+        if self.features & FEAT_PATTERNS != 0 {
+            choices.push(5);
+        }
+        let pick = choices[rng.next_below(choices.len() as u32) as usize];
+        match pick {
+            1 => self.emit_loop(&mut rng),
+            2 => {
+                let model = biased_model(&mut rng);
+                self.emit_diamond(&mut rng, model)
+            }
+            3 => self.emit_call(&mut rng),
+            4 => self.emit_switch(&mut rng),
+            5 => {
+                let len = rng.next_in(2, 8) as u8;
+                let bits = rng.next_below(1 << len);
+                self.emit_diamond(&mut rng, OutcomeModel::Pattern { bits, len })
+            }
+            _ => {
+                let n = rng.next_in(1, 6);
+                self.emit_alu(&mut rng, n)
+            }
+        }
+    }
+
+    /// A block of `n` random dataflow instructions.
+    fn emit_alu(&mut self, rng: &mut XorShift64, n: u32) -> u32 {
+        for _ in 0..n {
+            let op = random_alu(rng);
+            self.b.push(op);
+        }
+        n
+    }
+
+    /// A counted loop: body, then a backward branch with a `Loop`
+    /// model. Exercises back-edge detection, the mod-4 alignment
+    /// heuristic, and `LoopExit` start points.
+    fn emit_loop(&mut self, rng: &mut XorShift64) -> u32 {
+        let top = self.b.here();
+        let n = rng.next_in(1, 10);
+        let body = self.emit_alu(rng, n);
+        self.b.push_branch(
+            Op::Branch {
+                cond: BranchCond::Ne,
+                rs1: random_reg(rng),
+                rs2: Reg::ZERO,
+                target: top,
+            },
+            OutcomeModel::Loop {
+                trip: rng.next_in(1, 8),
+            },
+        );
+        body + 1
+    }
+
+    /// An if/else diamond under the given outcome model. Forward
+    /// targets are emitted as placeholders and patched once known.
+    fn emit_diamond(&mut self, rng: &mut XorShift64, model: OutcomeModel) -> u32 {
+        let branch_at = self.b.push_branch(
+            Op::Branch {
+                cond: BranchCond::Eq,
+                rs1: random_reg(rng),
+                rs2: random_reg(rng),
+                target: Addr::ZERO, // patched below
+            },
+            model,
+        );
+        let n = rng.next_in(1, 5);
+        let not_taken = self.emit_alu(rng, n);
+        let skip_at = self.b.push(Op::Jump { target: Addr::ZERO }); // patched below
+        let taken_entry = self.b.here();
+        let n = rng.next_in(1, 5);
+        let taken = self.emit_alu(rng, n);
+        let join = self.b.here();
+        self.b.patch(
+            branch_at,
+            Op::Branch {
+                cond: BranchCond::Eq,
+                rs1: random_reg(rng),
+                rs2: random_reg(rng),
+                target: taken_entry,
+            },
+        );
+        self.b.patch(skip_at, Op::Jump { target: join });
+        not_taken + taken + 2
+    }
+
+    /// A call to a random already-emitted helper (acyclic by
+    /// construction). Exercises `CallReturn` start points and
+    /// trace termination at returns.
+    fn emit_call(&mut self, rng: &mut XorShift64) -> u32 {
+        let target = self.funcs[rng.next_below(self.funcs.len() as u32) as usize];
+        self.b.push(Op::Call { target });
+        1
+    }
+
+    /// A multi-arm switch: an indirect jump whose model is fixed up
+    /// once the arm addresses are known. Exercises indirect-jump
+    /// trace termination.
+    fn emit_switch(&mut self, rng: &mut XorShift64) -> u32 {
+        let arms = rng.next_in(2, 4);
+        let jump_at = self.b.push_indirect(
+            Op::IndirectJump {
+                rs1: random_reg(rng),
+            },
+            // Placeholder; replaced below once arm entries exist.
+            IndirectModel::uniform(vec![Addr::ZERO], 1),
+        );
+        let mut entries = Vec::new();
+        let mut exits = Vec::new();
+        let mut cost = 1;
+        for _ in 0..arms {
+            entries.push(self.b.here());
+            let n = rng.next_in(1, 4);
+            cost += self.emit_alu(rng, n);
+            exits.push(self.b.push(Op::Jump { target: Addr::ZERO })); // patched below
+            cost += 1;
+        }
+        let join = self.b.here();
+        for e in exits {
+            self.b.patch(e, Op::Jump { target: join });
+        }
+        self.b
+            .set_indirect_model(jump_at, IndirectModel::uniform(entries, rng.next_u64()));
+        cost
+    }
+}
+
+/// A weakly or strongly biased branch model (the mix DESIGN.md's
+/// constructor forks on: weak branches fork both paths, strong
+/// branches follow the bias).
+fn biased_model(rng: &mut XorShift64) -> OutcomeModel {
+    match rng.next_below(4) {
+        0 => OutcomeModel::AlwaysTaken,
+        1 => OutcomeModel::NeverTaken,
+        _ => OutcomeModel::Biased {
+            num: rng.next_in(1, 9),
+            denom: 10,
+            seed: rng.next_u64(),
+        },
+    }
+}
+
+/// A register in `r1..=r28` (leaves `r0`, `SP`, and `LINK` alone).
+fn random_reg(rng: &mut XorShift64) -> Reg {
+    Reg::new(rng.next_in(1, 28) as u8)
+}
+
+/// One random dataflow instruction.
+fn random_alu(rng: &mut XorShift64) -> Op {
+    let rd = random_reg(rng);
+    let rs1 = random_reg(rng);
+    let rs2 = random_reg(rng);
+    match rng.next_below(10) {
+        0 => Op::Add { rd, rs1, rs2 },
+        1 => Op::Sub { rd, rs1, rs2 },
+        2 => Op::Xor { rd, rs1, rs2 },
+        3 => Op::AddImm {
+            rd,
+            rs1,
+            imm: rng.next_in(0, 200) as i32 - 100,
+        },
+        4 => Op::LoadImm {
+            rd,
+            imm: rng.next_in(0, 2000) as i32 - 1000,
+        },
+        5 => Op::Mul { rd, rs1, rs2 },
+        6 => Op::Div { rd, rs1, rs2 },
+        7 => Op::Load {
+            rd,
+            base: rs1,
+            offset: rng.next_in(0, 256) as i32 - 128,
+        },
+        8 => Op::Store {
+            src: rs2,
+            base: rs1,
+            offset: rng.next_in(0, 256) as i32 - 128,
+        },
+        _ => Op::Shl {
+            rd,
+            rs1,
+            shamt: rng.next_below(32) as u8,
+        },
+    }
+}
+
+/// Greedily shrinks a failing scenario: first drops construct
+/// classes, then halves the program size, repeating until no single
+/// reduction still fails. `still_fails` must return `true` when the
+/// candidate scenario reproduces the failure.
+pub fn shrink<F: FnMut(&Scenario) -> bool>(failing: Scenario, mut still_fails: F) -> Scenario {
+    let mut cur = failing;
+    loop {
+        let mut improved = false;
+        for bit in [
+            FEAT_PATTERNS,
+            FEAT_INDIRECT,
+            FEAT_CALLS,
+            FEAT_DIAMONDS,
+            FEAT_LOOPS,
+        ] {
+            if cur.features & bit != 0 {
+                let cand = Scenario {
+                    features: cur.features & !bit,
+                    ..cur
+                };
+                if still_fails(&cand) {
+                    cur = cand;
+                    improved = true;
+                }
+            }
+        }
+        while cur.size > 16 {
+            let cand = Scenario {
+                size: cur.size / 2,
+                ..cur
+            };
+            if !still_fails(&cand) {
+                break;
+            }
+            cur = cand;
+            improved = true;
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_is_valid_and_deterministic() {
+        for seed in 0..50 {
+            let s = Scenario::new(seed);
+            let a = generate(&s);
+            let b = generate(&s);
+            assert_eq!(a.code(), b.code(), "seed {seed} not deterministic");
+            assert!(a.len() >= 8);
+        }
+    }
+
+    #[test]
+    fn feature_subsets_are_valid() {
+        for features in 0..=FEAT_ALL {
+            let s = Scenario {
+                seed: 7,
+                size: 200,
+                features,
+            };
+            let p = generate(&s);
+            assert!(!p.is_empty(), "features 0x{features:x}");
+        }
+    }
+
+    #[test]
+    fn features_actually_appear() {
+        let p = generate(&Scenario {
+            seed: 3,
+            size: 2000,
+            features: FEAT_ALL,
+        });
+        let has = |f: fn(&Op) -> bool| p.code().iter().any(f);
+        assert!(has(|o| matches!(o, Op::Branch { .. })));
+        assert!(has(|o| matches!(o, Op::Call { .. })));
+        assert!(has(|o| matches!(o, Op::IndirectJump { .. })));
+        assert!(has(|o| matches!(o, Op::Return)));
+        assert!(p.branch_count() > 0);
+    }
+
+    #[test]
+    fn shrink_converges_to_minimal_failing() {
+        // A synthetic failure: "fails whenever loops are enabled and
+        // size >= 100". Shrinking should strip everything else.
+        let start = Scenario {
+            seed: 1,
+            size: 1600,
+            features: FEAT_ALL,
+        };
+        let shrunk = shrink(start, |s| s.features & FEAT_LOOPS != 0 && s.size >= 100);
+        assert_eq!(shrunk.features, FEAT_LOOPS);
+        assert!((100..200).contains(&shrunk.size), "size {}", shrunk.size);
+    }
+
+    #[test]
+    fn command_round_trips_the_triple() {
+        let s = Scenario {
+            seed: 42,
+            size: 300,
+            features: 0x1b,
+        };
+        let cmd = s.command();
+        assert!(cmd.contains("--seed 42"));
+        assert!(cmd.contains("--size 300"));
+        assert!(cmd.contains("--features 0x1b"));
+    }
+}

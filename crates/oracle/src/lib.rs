@@ -1,0 +1,50 @@
+//! # tpc-oracle — correctness subsystem
+//!
+//! Three pieces that together form the repository's differential
+//! testing harness:
+//!
+//! * [`interp`] — a golden-model reference interpreter: minimal,
+//!   single-path, in-order, written for obviousness over speed;
+//! * [`diff`] — the differential runner, which executes every
+//!   simulator configuration against the oracle and asserts
+//!   retirement-stream equivalence plus the structural conservation
+//!   invariants from DESIGN.md;
+//! * [`fuzzgen`] — a seeded structure-aware program fuzzer with
+//!   greedy shrinking, so divergences arrive as a one-line
+//!   reproducible command over a small program.
+//!
+//! The `cargo test`-gated smoke suite lives in `tests/differential.rs`;
+//! long runs use the `fuzz_sim` binary (`--budget-ms` for wall-clock
+//! budgets, `--iters` for a fixed count).
+
+pub mod diff;
+pub mod fuzzgen;
+pub mod interp;
+
+pub use diff::{run_differential, standard_configs, DiffReport, Divergence, NamedConfig};
+pub use fuzzgen::{generate, shrink, Scenario, FEAT_ALL};
+pub use interp::{Oracle, OracleInstr};
+
+/// Generates the scenario's program and runs the full differential
+/// matrix over it for at least `instructions` retirements per
+/// configuration.
+pub fn check_scenario(s: &Scenario, instructions: u64) -> Result<DiffReport, Divergence> {
+    let program = generate(s);
+    run_differential(&program, &standard_configs(), instructions)
+}
+
+/// Checks a scenario, and on failure greedily shrinks it; returns the
+/// shrunk scenario together with its divergence.
+pub fn check_and_shrink(
+    s: &Scenario,
+    instructions: u64,
+) -> Result<DiffReport, (Scenario, Divergence)> {
+    match check_scenario(s, instructions) {
+        Ok(report) => Ok(report),
+        Err(first) => {
+            let shrunk = shrink(*s, |cand| check_scenario(cand, instructions).is_err());
+            let div = check_scenario(&shrunk, instructions).err().unwrap_or(first);
+            Err((shrunk, div))
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Differential-oracle smoke suite.
+//!
+//! Runs every `cargo test`: 500+ structure-aware fuzzed programs,
+//! each checked under every simulator configuration (baseline,
+//! preconstruction, combined, unified) against the golden-model
+//! oracle's retirement stream, with the conservation invariants
+//! re-verified after every chunk. A divergence shrinks the scenario
+//! and panics with a one-line reproducible command.
+//!
+//! Long runs (`fuzz_sim --budget-ms ...`) use the same machinery on
+//! bigger programs; this suite keeps programs and instruction windows
+//! small so a debug build finishes in seconds.
+
+use tpc_oracle::fuzzgen::{FEAT_ALL, FEAT_CALLS, FEAT_DIAMONDS, FEAT_INDIRECT, FEAT_LOOPS};
+use tpc_oracle::{check_and_shrink, Scenario};
+
+/// Checks one scenario and panics with a reproducible command on
+/// divergence.
+fn check(s: Scenario, instrs: u64) {
+    if let Err((shrunk, div)) = check_and_shrink(&s, instrs) {
+        panic!(
+            "differential divergence: {div}\n  shrunk to {shrunk}\n  reproduce: {}",
+            shrunk.command()
+        );
+    }
+}
+
+/// The headline smoke test: 500 fuzzed programs, every configuration,
+/// retirement streams identical to the oracle.
+#[test]
+fn fuzzed_programs_match_oracle_on_every_config() {
+    for seed in 0..500u64 {
+        check(
+            Scenario {
+                seed,
+                size: 120,
+                features: FEAT_ALL,
+            },
+            600,
+        );
+    }
+}
+
+/// A slice of deeper runs: fewer programs, larger programs, longer
+/// instruction windows — enough retirements per program to cycle the
+/// small 64-entry caches several times.
+#[test]
+fn deeper_fuzzed_programs_match_oracle() {
+    for seed in 0..24u64 {
+        check(
+            Scenario {
+                seed: 10_000 + seed,
+                size: 900,
+                features: FEAT_ALL,
+            },
+            6_000,
+        );
+    }
+}
+
+/// Single-feature classes in isolation — failures here point straight
+/// at the construct that broke.
+#[test]
+fn single_feature_classes_match_oracle() {
+    for (i, features) in [FEAT_LOOPS, FEAT_DIAMONDS, FEAT_CALLS, FEAT_INDIRECT]
+        .into_iter()
+        .enumerate()
+    {
+        for seed in 0..8u64 {
+            check(
+                Scenario {
+                    seed: 20_000 + 100 * i as u64 + seed,
+                    size: 300,
+                    features,
+                },
+                2_000,
+            );
+        }
+    }
+}
+
+/// The generated SPEC-like benchmark programs (the ones every
+/// experiment sweeps) also match the oracle under every
+/// configuration.
+#[test]
+fn workload_benchmarks_match_oracle() {
+    use tpc_workloads::{Benchmark, WorkloadBuilder};
+    for b in [Benchmark::Gcc, Benchmark::Go, Benchmark::Compress] {
+        let program = WorkloadBuilder::new(b).seed(1).build();
+        let report = tpc_oracle::run_differential(&program, &tpc_oracle::standard_configs(), 8_000)
+            .unwrap_or_else(|d| panic!("{b:?}: {d}"));
+        assert_eq!(report.configs, 4);
+    }
+}

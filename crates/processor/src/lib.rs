@@ -30,6 +30,7 @@ pub mod simulator;
 pub mod stream;
 
 pub use simulator::{
-    FrontendBreakdown, SimConfig, SimEvent, SimStats, Simulator, StorageKind, SupplySource,
+    FrontendBreakdown, RetiredInstr, SimConfig, SimEvent, SimStats, Simulator, StorageKind,
+    SupplySource,
 };
 pub use stream::{DynTrace, TraceStream};

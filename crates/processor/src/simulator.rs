@@ -55,6 +55,11 @@ pub struct SimConfig {
     /// Record a bounded log of pipeline events (dispatches, slow
     /// builds, stalls, retires) readable via [`Simulator::events`].
     pub record_events: bool,
+    /// Record every retired instruction's `(pc, taken)` pair,
+    /// readable via [`Simulator::take_retirement`]. Used by the
+    /// differential oracle to compare the simulator's retirement
+    /// stream against the reference interpreter.
+    pub record_retirement: bool,
 }
 
 impl Default for SimConfig {
@@ -71,6 +76,7 @@ impl Default for SimConfig {
             backend: BackendConfig::default(),
             mispredict_penalty: 5,
             record_events: false,
+            record_retirement: false,
         }
     }
 }
@@ -356,6 +362,18 @@ enum FrontendActivity {
     Backpressure,
 }
 
+/// One retired instruction as recorded by the retirement log (see
+/// [`SimConfig::record_retirement`]): the architectural identity the
+/// differential oracle compares — which instruction retired, and for
+/// branches, which way it went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetiredInstr {
+    /// Instruction address.
+    pub pc: Addr,
+    /// Branch outcome (`false` for non-branches).
+    pub taken: bool,
+}
+
 /// A dispatched trace awaiting retirement.
 #[derive(Debug)]
 struct Inflight {
@@ -364,6 +382,9 @@ struct Inflight {
     branches: Vec<(Addr, bool)>,
     /// Instruction addresses, for the engine's retire observation.
     pcs: Vec<Addr>,
+    /// Per-instruction retirement records (empty unless
+    /// [`SimConfig::record_retirement`]).
+    recorded: Vec<RetiredInstr>,
 }
 
 /// The simulator. Create with [`Simulator::new`], drive with
@@ -395,6 +416,9 @@ pub struct Simulator<'a> {
     seq: u64,
     stats: SimStats,
     events: Vec<SimEvent>,
+    /// Retired-instruction log (empty unless
+    /// [`SimConfig::record_retirement`]).
+    retirement: Vec<RetiredInstr>,
     /// Pending supply source for the next dispatch's event record.
     pending_source: SupplySource,
 }
@@ -440,6 +464,7 @@ impl<'a> Simulator<'a> {
             seq: 0,
             stats: SimStats::default(),
             events: Vec::new(),
+            retirement: Vec::new(),
             pending_source: SupplySource::TraceCache,
             program,
             config,
@@ -465,6 +490,43 @@ impl<'a> Simulator<'a> {
     /// The configuration in use.
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// The retired-instruction log accumulated so far (empty unless
+    /// [`SimConfig::record_retirement`] is set).
+    pub fn retirement_log(&self) -> &[RetiredInstr] {
+        &self.retirement
+    }
+
+    /// Drains and returns the retired-instruction log, leaving it
+    /// empty. The differential runner calls this between chunks so
+    /// long runs compare in bounded memory.
+    pub fn take_retirement(&mut self) -> Vec<RetiredInstr> {
+        std::mem::take(&mut self.retirement)
+    }
+
+    /// Checks the simulator-wide conservation invariants the
+    /// differential oracle enforces after every chunk: the fetch
+    /// conservation law, retirement accounting, and the storage and
+    /// engine structural invariants (occupancy ≤ capacity, start
+    /// stack within its 16+4 bound).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let s = &self.stats;
+        if s.trace_fetches != s.trace_cache_hits + s.precon_buffer_hits + s.trace_cache_misses {
+            return Err(format!(
+                "fetch conservation violated: {} fetches != {} tc hits + {} pb hits + {} misses",
+                s.trace_fetches, s.trace_cache_hits, s.precon_buffer_hits, s.trace_cache_misses
+            ));
+        }
+        if s.retired_traces > s.trace_fetches {
+            return Err(format!(
+                "retired {} traces but only fetched {}",
+                s.retired_traces, s.trace_fetches
+            ));
+        }
+        self.store.check_invariants()?;
+        self.engine.check_invariants()?;
+        Ok(())
     }
 
     /// Read access to the preconstruction engine (buffer occupancy,
@@ -567,6 +629,7 @@ impl<'a> Simulator<'a> {
         for pc in &done.pcs {
             self.engine.observe_retire(*pc);
         }
+        self.retirement.extend_from_slice(&done.recorded);
         self.stats.retired_instructions += done.pcs.len() as u64;
         self.stats.retired_traces += 1;
     }
@@ -770,10 +833,28 @@ impl<'a> Simulator<'a> {
             .map(|ti| (ti.pc, *outcome_iter.next().expect("parallel outcomes")))
             .collect();
         let pcs = dt.trace.instrs().iter().map(|ti| ti.pc).collect();
+        let recorded = if self.config.record_retirement {
+            let mut outcome_iter = dt.branch_outcomes.iter();
+            dt.trace
+                .instrs()
+                .iter()
+                .map(|ti| RetiredInstr {
+                    pc: ti.pc,
+                    taken: if ti.op.class() == OpClass::Branch {
+                        *outcome_iter.next().expect("parallel outcomes")
+                    } else {
+                        false
+                    },
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         self.inflight.push_back(Inflight {
             timing,
             branches,
             pcs,
+            recorded,
         });
     }
 }

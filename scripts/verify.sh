@@ -13,6 +13,13 @@ cargo test -q --offline
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== differential oracle smoke suite =="
+cargo test -q --offline -p tpc-oracle
+
+echo "== differential fuzz, 10s budget, fixed seed =="
+cargo run -p tpc-oracle --release --offline --bin fuzz_sim -- \
+  --seed 1 --iters 1000000 --budget-ms 10000 --size 400 --instrs 2500
+
 echo "== bench_throughput --quick =="
 cargo run -p tpc-experiments --release --offline --bin bench_throughput -- --quick
 

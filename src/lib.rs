@@ -19,6 +19,8 @@
 //! * [`processor`] — the cycle-level trace-processor timing model.
 //! * [`experiments`] — reproductions of every table and figure in the
 //!   paper's evaluation.
+//! * [`oracle`] — golden-model reference interpreter, differential
+//!   runner, and structure-aware simulator fuzzer.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@ pub use tpc_exec as exec;
 pub use tpc_experiments as experiments;
 pub use tpc_isa as isa;
 pub use tpc_mem as mem;
+pub use tpc_oracle as oracle;
 pub use tpc_predict as predict;
 pub use tpc_processor as processor;
 pub use tpc_workloads as workloads;

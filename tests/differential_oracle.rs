@@ -1,0 +1,32 @@
+//! Differential-oracle smoke suite (root crate).
+//!
+//! Part of the default `cargo test` run: 500 structure-aware fuzzed
+//! programs, each executed under every simulator configuration
+//! (baseline trace cache, preconstruction, combined with
+//! preprocessing, unified storage) and compared instruction-by-
+//! instruction against the golden-model reference interpreter in
+//! `tpc-oracle`. Conservation invariants (fetch accounting, buffer
+//! occupancy ≤ capacity, start-stack depth ≤ 16+4, traces verbatim
+//! from static code) are re-checked after every chunk.
+//!
+//! On divergence the failing scenario is shrunk and the panic message
+//! carries a one-line `fuzz_sim` command that reproduces it.
+
+use trace_preconstruction::oracle::{check_and_shrink, fuzzgen::FEAT_ALL, Scenario};
+
+#[test]
+fn five_hundred_fuzzed_programs_match_the_oracle() {
+    for seed in 0..500u64 {
+        let scenario = Scenario {
+            seed: 40_000 + seed,
+            size: 120,
+            features: FEAT_ALL,
+        };
+        if let Err((shrunk, div)) = check_and_shrink(&scenario, 600) {
+            panic!(
+                "differential divergence: {div}\n  shrunk to {shrunk}\n  reproduce: {}",
+                shrunk.command()
+            );
+        }
+    }
+}
