@@ -16,6 +16,7 @@
 //! per-region resource bound).
 
 use crate::constructor::{Step, TraceConstructor};
+use crate::faults::EngineFault;
 use crate::start_stack::{StartPointStack, StartReason};
 use crate::storage::TraceStore;
 use crate::trace::Trace;
@@ -150,6 +151,8 @@ pub struct PreconEngine {
     constructors: Vec<TraceConstructor>,
     /// Region slot each constructor works for.
     assignment: Vec<Option<usize>>,
+    /// Remaining fault-injected stall cycles per constructor.
+    stalls: Vec<u32>,
     next_region_id: u64,
     stats: EngineStats,
     built_keys: HashSet<u64>,
@@ -169,6 +172,7 @@ impl PreconEngine {
                 .map(|_| TraceConstructor::new(config.decision_depth))
                 .collect(),
             assignment: vec![None; config.constructors],
+            stalls: vec![0; config.constructors],
             next_region_id: 1,
             stats: EngineStats::default(),
             built_keys: HashSet::new(),
@@ -402,6 +406,10 @@ impl PreconEngine {
         store: &mut dyn TraceStore,
     ) {
         for c in 0..self.constructors.len() {
+            if self.stalls[c] > 0 {
+                self.stalls[c] -= 1;
+                continue;
+            }
             let mut budget = self.config.decode_width;
             while budget > 0 {
                 // (Re)assign idle constructors to the newest region
@@ -536,6 +544,86 @@ impl PreconEngine {
                 self.retire_region(i, RegionEnd::Completed);
             }
         }
+    }
+
+    /// Applies one injected engine fault. Returns whether the fault
+    /// landed on live state (a fault drawn against an idle engine is
+    /// a no-op and counts as not landed).
+    ///
+    /// Every perturbation stays inside the engine's structural
+    /// invariants: a dropped fill restores the region's `want_line`
+    /// so the fetch is simply re-issued, a killed constructor aborts
+    /// through the same path a caught-up region uses, and stack
+    /// pops/squashes only discard hint entries — none of this can
+    /// reach architectural state, which is the property the
+    /// differential oracle checks end to end.
+    pub fn apply_fault(&mut self, fault: EngineFault) -> bool {
+        if !self.config.enabled {
+            return false;
+        }
+        match fault {
+            EngineFault::DropPrefetchFill { salt } => {
+                let Some(slot) = self.pick_pending_region(salt) else {
+                    return false;
+                };
+                let region = self.regions[slot].as_mut().expect("picked live");
+                let (addr, _) = region.pending.take().expect("picked pending");
+                region.want_line = Some(addr);
+                true
+            }
+            EngineFault::DelayPrefetchFill { salt, extra } => {
+                let Some(slot) = self.pick_pending_region(salt) else {
+                    return false;
+                };
+                let region = self.regions[slot].as_mut().expect("picked live");
+                let (_, ready) = region.pending.as_mut().expect("picked pending");
+                *ready += extra as u64;
+                true
+            }
+            EngineFault::StallConstructor { salt, cycles } => {
+                let Some(c) = self.pick_busy_constructor(salt) else {
+                    return false;
+                };
+                self.stalls[c] = self.stalls[c].max(cycles);
+                true
+            }
+            EngineFault::KillConstructor { salt } => {
+                let Some(c) = self.pick_busy_constructor(salt) else {
+                    return false;
+                };
+                self.constructors[c].abort();
+                self.assignment[c] = None;
+                true
+            }
+            EngineFault::PopStartPoint => self.stack.pop().is_some(),
+            EngineFault::SquashStartStack { salt } => {
+                let len = self.stack.len();
+                if len == 0 {
+                    return false;
+                }
+                self.stack.squash_to_depth(salt as usize % len) > 0
+            }
+        }
+    }
+
+    /// Salt-chosen region slot with an in-flight line fetch.
+    fn pick_pending_region(&self, salt: u64) -> Option<usize> {
+        let pending: Vec<usize> = (0..self.regions.len())
+            .filter(|&i| {
+                self.regions[i]
+                    .as_ref()
+                    .is_some_and(|r| r.pending.is_some())
+            })
+            .collect();
+        (!pending.is_empty()).then(|| pending[salt as usize % pending.len()])
+    }
+
+    /// Salt-chosen constructor that is currently mid-trace.
+    fn pick_busy_constructor(&self, salt: u64) -> Option<usize> {
+        let busy: Vec<usize> = (0..self.constructors.len())
+            .filter(|&c| !self.constructors[c].is_idle())
+            .collect();
+        (!busy.is_empty()).then(|| busy[salt as usize % busy.len()])
     }
 
     fn retire_region(&mut self, slot: usize, end: RegionEnd) {
@@ -765,6 +853,97 @@ mod tests {
         let f = store.fetch(key);
         assert!(f.hit, "trace built");
         assert!(f.preprocess.is_some());
+    }
+
+    #[test]
+    fn faults_on_idle_or_disabled_engine_do_not_land() {
+        let mut disabled = PreconEngine::new(EngineConfig::disabled());
+        assert!(!disabled.apply_fault(EngineFault::PopStartPoint));
+        let mut idle = PreconEngine::new(EngineConfig::default());
+        for fault in [
+            EngineFault::DropPrefetchFill { salt: 7 },
+            EngineFault::DelayPrefetchFill { salt: 7, extra: 3 },
+            EngineFault::StallConstructor { salt: 7, cycles: 3 },
+            EngineFault::KillConstructor { salt: 7 },
+            EngineFault::PopStartPoint,
+            EngineFault::SquashStartStack { salt: 7 },
+        ] {
+            assert!(!idle.apply_fault(fault), "{fault:?} landed on idle engine");
+        }
+    }
+
+    #[test]
+    fn pop_and_squash_faults_drain_the_stack() {
+        let p = call_program();
+        let mut e = PreconEngine::new(EngineConfig::default());
+        e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 1);
+        assert_eq!(e.start_stack().len(), 1);
+        assert!(e.apply_fault(EngineFault::PopStartPoint));
+        assert_eq!(e.start_stack().len(), 0);
+        e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 2);
+        assert!(e.apply_fault(EngineFault::SquashStartStack { salt: 0 }));
+        assert_eq!(e.start_stack().len(), 0);
+    }
+
+    #[test]
+    fn kill_constructor_aborts_but_engine_recovers() {
+        let p = call_program();
+        let mut e = PreconEngine::new(EngineConfig::default());
+        e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 1);
+        let (mut ic, bim, mut store) = harness();
+        // Run until a constructor is demonstrably busy, then kill it.
+        let mut landed = false;
+        for cycle in 0..300 {
+            e.tick(cycle, true, &p, &mut ic, &bim, &mut store);
+            if !landed && cycle == 20 {
+                landed = e.apply_fault(EngineFault::KillConstructor { salt: 3 });
+            }
+        }
+        assert!(e.check_invariants().is_ok());
+        // The region either still completed (worklist re-dispatch) or
+        // was retired through a normal path — no constructor wedged.
+        assert!(e.stats().traces_built >= 1);
+    }
+
+    #[test]
+    fn stall_fault_freezes_constructor_for_n_cycles() {
+        let p = call_program();
+        let mut e = PreconEngine::new(EngineConfig::default());
+        e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 1);
+        let (mut ic, bim, mut store) = harness();
+        for cycle in 0..10 {
+            e.tick(cycle, true, &p, &mut ic, &bim, &mut store);
+        }
+        let stalled = e.apply_fault(EngineFault::StallConstructor { salt: 1, cycles: 5 });
+        for cycle in 10..300 {
+            e.tick(cycle, true, &p, &mut ic, &bim, &mut store);
+        }
+        // Whether or not the stall landed (depends on timing), the
+        // engine must still finish its work.
+        let _ = stalled;
+        assert!(e.stats().traces_built >= 1);
+        assert!(e.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn drop_fill_fault_refetches_and_completes() {
+        let p = call_program();
+        let mut e = PreconEngine::new(EngineConfig::default());
+        e.observe_dispatch(Addr::new(0), p.fetch(Addr::new(0)).unwrap(), 1);
+        let (mut ic, bim, mut store) = harness();
+        let mut drops = 0;
+        for cycle in 0..400 {
+            e.tick(cycle, true, &p, &mut ic, &bim, &mut store);
+            // Hammer the drop fault every cycle for a while: each
+            // drop restores want_line, so fetches are re-issued and
+            // progress is delayed, never lost.
+            if cycle < 30 && e.apply_fault(EngineFault::DropPrefetchFill { salt: cycle }) {
+                drops += 1;
+            }
+        }
+        assert!(drops > 0, "at least one in-flight fill was dropped");
+        assert!(e.stats().traces_built >= 1, "engine still completes");
+        assert!(e.check_invariants().is_ok());
     }
 
     #[test]

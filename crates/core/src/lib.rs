@@ -22,9 +22,15 @@
 //! * [`mod@preprocess`] — the extended-pipeline trace preprocessing
 //!   (instruction scheduling, constant propagation, combined
 //!   shift-add ALU) of Section 6.
+//! * [`faults`] — deterministic fault injection over every one of
+//!   the mechanisms above, used by the differential oracle to prove
+//!   preconstruction is correctness-neutral: any seeded fault
+//!   schedule may move performance counters but never the retirement
+//!   stream.
 
 pub mod constructor;
 pub mod engine;
+pub mod faults;
 pub mod precon_buffer;
 pub mod preprocess;
 mod slots;
@@ -34,6 +40,10 @@ pub mod trace;
 pub mod trace_cache;
 
 pub use engine::{EngineConfig, EngineStats, PreconEngine};
+pub use faults::{
+    EngineFault, FaultEvent, FaultKind, FaultPlan, FaultState, FaultStats, FAULTS_ALL,
+    NUM_FAULT_KINDS,
+};
 pub use precon_buffer::{PreconBuffers, PreconStats};
 pub use preprocess::{preprocess, PreprocessInfo};
 pub use start_stack::{StartPointStack, StartReason};

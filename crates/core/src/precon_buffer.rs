@@ -188,6 +188,44 @@ impl PreconBuffers {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
+    /// Fault-injection hook: invalidates one resident entry, chosen
+    /// by `salt` over the occupied slots. Returns whether an entry
+    /// was dropped (`false` on empty or disabled buffers).
+    ///
+    /// A preconstructed trace is a hint; losing one costs at most a
+    /// future slow-path build.
+    pub fn fault_invalidate_one(&mut self, salt: u64) -> bool {
+        let occupied: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].is_some())
+            .collect();
+        if occupied.is_empty() {
+            return false;
+        }
+        let victim = occupied[(salt % occupied.len() as u64) as usize];
+        self.slots[victim] = None;
+        debug_assert!(self.check_invariants().is_ok());
+        true
+    }
+
+    /// Fault-injection hook: corrupts one resident entry's region
+    /// tag, zeroing it (detected corruption loses the entry its
+    /// region-priority protection, so any later region displaces it).
+    /// Returns whether a tag actually changed.
+    pub fn fault_corrupt_region_tag(&mut self, salt: u64) -> bool {
+        let occupied: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].is_some())
+            .collect();
+        if occupied.is_empty() {
+            return false;
+        }
+        let victim = occupied[(salt % occupied.len() as u64) as usize];
+        let slot = self.slots[victim].as_mut().expect("occupied index");
+        let changed = slot.region != 0;
+        slot.region = 0;
+        debug_assert!(self.check_invariants().is_ok());
+        changed
+    }
+
     /// Iterates over the resident traces and their region tags
     /// (diagnostics and trace-dump tooling).
     pub fn iter(&self) -> impl Iterator<Item = (&Trace, u64)> {

@@ -136,6 +136,20 @@ impl StartPointStack {
         self.entries.retain(|e| e.seq <= seq);
     }
 
+    /// Fault-injection hook: spuriously runs the misspeculation
+    /// squash, keeping only the `keep` oldest entries (equivalent to
+    /// [`StartPointStack::squash_younger_than`] with the seq of the
+    /// `keep`-th entry). Returns the number of entries discarded.
+    ///
+    /// Losing start points can only suppress preconstruction work —
+    /// the stack feeds hint hardware, so a spurious squash moves
+    /// performance counters but never architectural state.
+    pub fn squash_to_depth(&mut self, keep: usize) -> usize {
+        let removed = self.entries.len().saturating_sub(keep);
+        self.entries.truncate(keep);
+        removed
+    }
+
     /// Records that preconstruction for the region at `addr`
     /// completed; subsequent pushes of `addr` are suppressed until
     /// the entry ages out of the completed list.

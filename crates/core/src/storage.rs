@@ -101,6 +101,20 @@ pub trait TraceStore: std::fmt::Debug {
     /// capacity, counter conservation). Called by the differential
     /// oracle after every simulation chunk.
     fn check_invariants(&self) -> Result<(), String>;
+
+    /// Fault-injection hook: invalidates one pending preconstructed
+    /// entry, chosen by `salt`. Returns whether an entry was dropped.
+    /// Stores without a preconstruction side are fault-transparent.
+    fn fault_invalidate_precon(&mut self, _salt: u64) -> bool {
+        false
+    }
+
+    /// Fault-injection hook: corrupts one pending preconstructed
+    /// entry's region tag (detected corruption: the entry loses its
+    /// replacement priority). Returns whether a tag changed.
+    fn fault_corrupt_precon(&mut self, _salt: u64) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -220,6 +234,14 @@ impl TraceStore for SplitStore {
             ));
         }
         self.pb.check_invariants()
+    }
+
+    fn fault_invalidate_precon(&mut self, salt: u64) -> bool {
+        self.pb.fault_invalidate_one(salt)
+    }
+
+    fn fault_corrupt_precon(&mut self, salt: u64) -> bool {
+        self.pb.fault_corrupt_region_tag(salt)
     }
 }
 
@@ -539,6 +561,32 @@ impl TraceStore for UnifiedStore {
             return Err(format!("pb_ways {} exceeds associativity", self.pb_ways));
         }
         Ok(())
+    }
+
+    fn fault_invalidate_precon(&mut self, salt: u64) -> bool {
+        let pending: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].as_ref().is_some_and(|s| s.region.is_some()))
+            .collect();
+        if pending.is_empty() {
+            return false;
+        }
+        let victim = pending[(salt % pending.len() as u64) as usize];
+        self.slots[victim] = None;
+        true
+    }
+
+    fn fault_corrupt_precon(&mut self, salt: u64) -> bool {
+        let pending: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].as_ref().is_some_and(|s| s.region.is_some()))
+            .collect();
+        if pending.is_empty() {
+            return false;
+        }
+        let victim = pending[(salt % pending.len() as u64) as usize];
+        let slot = self.slots[victim].as_mut().expect("pending index");
+        let changed = slot.region != Some(0);
+        slot.region = Some(0);
+        changed
     }
 }
 

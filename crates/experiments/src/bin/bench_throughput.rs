@@ -79,7 +79,7 @@ fn main() {
             json_f(ips),
             json_f(stats.ipc())
         )
-        .unwrap();
+        .expect("fmt::Write to a String is infallible");
         config_entries.push(e);
     }
 

@@ -1,0 +1,275 @@
+//! JSONL checkpoint/resume for interrupted sweeps.
+//!
+//! A checkpoint file is a header line identifying the sweep followed
+//! by one line per completed cell:
+//!
+//! ```text
+//! {"fingerprint":1234567890,"cells":28}
+//! {"cell":3,"words":[500123,500000,...]}
+//! {"cell":0,"words":[...]}
+//! ```
+//!
+//! * The **fingerprint** hashes the run parameters and every cell's
+//!   configuration, so a stale file from a different sweep is
+//!   rejected instead of silently poisoning results.
+//! * Cell lines carry the [`SimStats::to_words`] integer codec — no
+//!   floats, no serialization dependency, bit-exact round-trip.
+//! * Lines are appended (under a mutex, one `write_all` per line) as
+//!   workers finish, in completion order; resumption only cares
+//!   about the `cell` index, so the order is irrelevant.
+//! * A torn final line from a killed process doesn't end with `}`
+//!   and/or fails to decode; it is ignored and that cell re-runs.
+//!
+//! Simulations are deterministic, so a resumed sweep's final output
+//! is byte-identical to an uninterrupted one — `scripts/verify.sh`
+//! checks exactly that by killing and resuming a degradation sweep.
+
+use crate::par_sweep::SweepCell;
+use crate::runner::RunParams;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use tpc_processor::SimStats;
+
+/// 64-bit FNV-1a.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Fingerprints a sweep: the run window and seed plus every cell's
+/// configuration (via its `Debug` rendering, which covers each field)
+/// and the cell count. Two sweeps get the same fingerprint exactly
+/// when their checkpoints are interchangeable.
+///
+/// `jobs` is deliberately excluded — thread count never changes
+/// results, so a sweep may be resumed with a different `--jobs`.
+pub fn sweep_fingerprint(params: &RunParams, cells: &[SweepCell]) -> u64 {
+    let mut h = Fnv::new();
+    h.write(&params.warmup.to_le_bytes());
+    h.write(&params.measure.to_le_bytes());
+    h.write(&params.seed.to_le_bytes());
+    h.write(&(cells.len() as u64).to_le_bytes());
+    for cell in cells {
+        h.write(format!("{:?}", cell.config).as_bytes());
+    }
+    h.0
+}
+
+/// An open checkpoint file accepting streaming appends from sweep
+/// workers (`&self` — the file handle is behind a mutex).
+#[derive(Debug)]
+pub struct SweepCheckpoint {
+    file: Mutex<File>,
+}
+
+impl SweepCheckpoint {
+    /// Opens `path` for the sweep identified by `fingerprint` over
+    /// `cell_count` cells, creating it (with its header) if absent.
+    /// Returns the checkpoint plus any previously completed cells'
+    /// statistics, indexed by cell.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] when the file
+    /// exists but belongs to a different sweep (fingerprint or cell
+    /// count mismatch) — delete the stale file to proceed.
+    pub fn open(
+        path: &Path,
+        fingerprint: u64,
+        cell_count: usize,
+    ) -> io::Result<(SweepCheckpoint, Vec<Option<SimStats>>)> {
+        let mut prior: Vec<Option<SimStats>> = vec![None; cell_count];
+        if path.exists() {
+            let mut lines = BufReader::new(File::open(path)?).lines();
+            if let Some(header) = lines.next().transpose()? {
+                let (fp, cells) = parse_header(&header)
+                    .ok_or_else(|| invalid(format!("malformed checkpoint header: {header:?}")))?;
+                if fp != fingerprint || cells != cell_count {
+                    return Err(invalid(format!(
+                        "checkpoint belongs to a different sweep \
+                         (file: fingerprint {fp:#018x} over {cells} cells; \
+                         this sweep: {fingerprint:#018x} over {cell_count} cells) \
+                         — delete it to start over"
+                    )));
+                }
+                for line in lines {
+                    // A torn trailing line (killed writer) fails to
+                    // parse; skip it and let that cell re-run.
+                    if let Some((i, stats)) = parse_cell(&line?) {
+                        if i < cell_count {
+                            prior[i] = Some(stats);
+                        }
+                    }
+                }
+            }
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if file.metadata()?.len() == 0 {
+            writeln!(
+                file,
+                "{{\"fingerprint\":{fingerprint},\"cells\":{cell_count}}}"
+            )?;
+            file.flush()?;
+        }
+        Ok((
+            SweepCheckpoint {
+                file: Mutex::new(file),
+            },
+            prior,
+        ))
+    }
+
+    /// Appends one completed cell. Each line is a single `write_all`,
+    /// so concurrent workers' lines never interleave.
+    pub fn record(&self, cell: usize, stats: &SimStats) -> io::Result<()> {
+        let words: Vec<String> = stats.to_words().iter().map(u64::to_string).collect();
+        let line = format!("{{\"cell\":{cell},\"words\":[{}]}}\n", words.join(","));
+        let mut file = self
+            .file
+            .lock()
+            .map_err(|_| io::Error::other("checkpoint mutex poisoned"))?;
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+}
+
+fn invalid(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Extracts the run of digits following `"key":` in a JSON line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let at = line.find(key)? + key.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn parse_header(line: &str) -> Option<(u64, usize)> {
+    Some((
+        field_u64(line, "\"fingerprint\":")?,
+        field_u64(line, "\"cells\":")? as usize,
+    ))
+}
+
+fn parse_cell(line: &str) -> Option<(usize, SimStats)> {
+    if !line.ends_with('}') {
+        return None; // torn write
+    }
+    let cell = field_u64(line, "\"cell\":")? as usize;
+    let open = line.find("\"words\":[")? + "\"words\":[".len();
+    let close = line[open..].find(']')? + open;
+    let words: Option<Vec<u64>> = line[open..close]
+        .split(',')
+        .map(|w| w.trim().parse().ok())
+        .collect();
+    Some((cell, SimStats::from_words(&words?)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tpc_processor::SimConfig;
+    use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tpc-checkpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn sample_stats(x: u64) -> SimStats {
+        let mut s = SimStats::default();
+        s.cycles = 1000 + x;
+        s.retired_instructions = 500 + x;
+        s.faults.landed_by_kind[3] = x;
+        s
+    }
+
+    #[test]
+    fn record_and_reload_round_trips() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (ck, prior) = SweepCheckpoint::open(&path, 0xABCD, 4).unwrap();
+        assert!(prior.iter().all(Option::is_none));
+        ck.record(2, &sample_stats(7)).unwrap();
+        ck.record(0, &sample_stats(9)).unwrap();
+        drop(ck);
+        let (_, prior) = SweepCheckpoint::open(&path, 0xABCD, 4).unwrap();
+        assert_eq!(prior[0], Some(sample_stats(9)));
+        assert!(prior[1].is_none());
+        assert_eq!(prior[2], Some(sample_stats(7)));
+        assert!(prior[3].is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_checkpoint_is_rejected() {
+        let path = temp_path("foreign");
+        let _ = std::fs::remove_file(&path);
+        let (ck, _) = SweepCheckpoint::open(&path, 1, 4).unwrap();
+        drop(ck);
+        let err = SweepCheckpoint::open(&path, 2, 4).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = SweepCheckpoint::open(&path, 1, 5).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_ignored() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let (ck, _) = SweepCheckpoint::open(&path, 3, 4).unwrap();
+        ck.record(1, &sample_stats(1)).unwrap();
+        drop(ck);
+        // Simulate a writer killed mid-line.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"cell\":2,\"words\":[55,66").unwrap();
+        drop(f);
+        let (_, prior) = SweepCheckpoint::open(&path, 3, 4).unwrap();
+        assert_eq!(prior[1], Some(sample_stats(1)));
+        assert!(prior[2].is_none(), "torn line dropped, cell will re-run");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_tracks_configs_and_params() {
+        let program = Arc::new(WorkloadBuilder::new(Benchmark::Compress).seed(1).build());
+        let cells = vec![crate::par_sweep::SweepCell::new(
+            Arc::clone(&program),
+            SimConfig::baseline(64),
+        )];
+        let params = RunParams::quick();
+        let a = sweep_fingerprint(&params, &cells);
+        assert_eq!(a, sweep_fingerprint(&params, &cells), "deterministic");
+        let mut other_params = params;
+        other_params.measure += 1;
+        assert_ne!(a, sweep_fingerprint(&other_params, &cells));
+        let other_cells = vec![crate::par_sweep::SweepCell::new(
+            program,
+            SimConfig::baseline(128),
+        )];
+        assert_ne!(a, sweep_fingerprint(&params, &other_cells));
+        // Thread count is excluded: resuming with different --jobs
+        // is allowed.
+        let mut jobs_params = params;
+        jobs_params.jobs = 17;
+        assert_eq!(a, sweep_fingerprint(&jobs_params, &cells));
+    }
+}

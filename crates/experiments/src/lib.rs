@@ -19,7 +19,9 @@
 
 pub mod ablations;
 pub mod bias_sweep;
+pub mod checkpoint;
 pub mod cpi_stack;
+pub mod degradation;
 pub mod fig5;
 pub mod fig6;
 pub mod fig8;
@@ -30,5 +32,9 @@ pub mod runner;
 pub mod tables;
 pub mod workload_stats;
 
-pub use par_sweep::{par_map, run_cells, run_cells_timed, sweep_grid, SweepCell};
+pub use checkpoint::{sweep_fingerprint, SweepCheckpoint};
+pub use par_sweep::{
+    par_map, par_try_map, run_cells, run_cells_checked, run_cells_resumable, run_cells_timed,
+    sweep_grid, CellBudget, CellError, SweepCell,
+};
 pub use runner::{simulate, simulate_many, RunParams};

@@ -17,12 +17,77 @@
 //! cell costs (a 1024-entry unified store vs a 64-entry baseline)
 //! load-balance naturally.
 
+use crate::checkpoint::SweepCheckpoint;
 use crate::runner::RunParams;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use tpc_isa::Program;
-use tpc_processor::{SimConfig, SimStats, Simulator};
+use tpc_processor::{BudgetExceeded, SimConfig, SimStats, Simulator};
 use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+/// Why one sweep cell failed. A failing cell never takes the sweep
+/// down with it: [`par_try_map`] contains panics to the cell that
+/// raised them and the rest of the grid completes normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellError {
+    /// The cell's computation panicked (e.g. an invalid
+    /// configuration tripping a constructor assertion).
+    Panic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The per-cell cycle watchdog fired before the instruction
+    /// target was reached (a wedged or pathologically slow
+    /// configuration).
+    Timeout {
+        /// Absolute cycles simulated when the watchdog fired.
+        cycles: u64,
+        /// Instructions retired by then.
+        retired: u64,
+    },
+    /// Recording the cell's result to the checkpoint file failed.
+    Checkpoint {
+        /// The underlying I/O error.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Panic { message } => write!(f, "cell panicked: {message}"),
+            CellError::Timeout { cycles, retired } => write!(
+                f,
+                "cell timed out: {cycles} cycles with only {retired} instructions retired"
+            ),
+            CellError::Checkpoint { message } => write!(f, "checkpoint write failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+impl From<BudgetExceeded> for CellError {
+    fn from(e: BudgetExceeded) -> Self {
+        CellError::Timeout {
+            cycles: e.cycles,
+            retired: e.retired,
+        }
+    }
+}
+
+/// Renders a caught panic payload (almost always a `&str` or
+/// `String`) for a [`CellError::Panic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Resolves a `--jobs` request to a worker count: `0` means "one per
 /// available core".
@@ -36,27 +101,33 @@ pub fn effective_jobs(requested: u64) -> usize {
     }
 }
 
-/// Maps `f` over `items` on up to `jobs` worker threads.
+/// Fallible map over `items` on up to `jobs` worker threads, with
+/// panic containment: a panic inside `f` is caught and reported as
+/// that item's [`CellError::Panic`] while every other item completes
+/// and returns its own result.
 ///
 /// Results are returned in input order regardless of completion
 /// order. `jobs <= 1` (or a single item) runs inline on the calling
 /// thread — no spawn, identical results.
-///
-/// # Panics
-///
-/// Propagates a panic from `f` (the sweep is aborted).
-pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+pub fn par_try_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<Result<R, CellError>>
 where
     T: Sync,
     R: Send,
-    F: Fn(&T) -> R + Sync,
+    F: Fn(&T) -> Result<R, CellError> + Sync,
 {
+    let call = |item: &T| -> Result<R, CellError> {
+        catch_unwind(AssertUnwindSafe(|| f(item))).unwrap_or_else(|payload| {
+            Err(CellError::Panic {
+                message: panic_message(payload),
+            })
+        })
+    };
     let jobs = jobs.min(items.len());
     if jobs <= 1 {
-        return items.iter().map(f).collect();
+        return items.iter().map(call).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    let mut results: Vec<Option<Result<R, CellError>>> = Vec::with_capacity(items.len());
     results.resize_with(items.len(), || None);
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..jobs)
@@ -68,21 +139,57 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        produced.push((i, f(&items[i])));
+                        produced.push((i, call(&items[i])));
                     }
                     produced
                 })
             })
             .collect();
+        // `call` contains panics, so a worker cannot die mid-item;
+        // a join error is therefore unreachable, but it degrades to
+        // structured per-item errors rather than killing the sweep.
         for worker in workers {
-            for (i, r) in worker.join().expect("sweep worker panicked") {
-                results[i] = Some(r);
+            if let Ok(produced) = worker.join() {
+                for (i, r) in produced {
+                    results[i] = Some(r);
+                }
             }
         }
     });
     results
         .into_iter()
-        .map(|r| r.expect("every index was claimed by exactly one worker"))
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                Err(CellError::Panic {
+                    message: "worker thread died before reporting its results".into(),
+                })
+            })
+        })
+        .collect()
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads.
+///
+/// Results are returned in input order regardless of completion
+/// order. `jobs <= 1` (or a single item) runs inline on the calling
+/// thread — no spawn, identical results.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the sweep is aborted). Use
+/// [`par_try_map`] to contain failures to the cell that raised them.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_try_map(items, jobs, |item| Ok(f(item)))
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        })
         .collect()
 }
 
@@ -127,6 +234,96 @@ pub fn run_cells_timed(cells: &[SweepCell], params: RunParams) -> Vec<(SimStats,
         let stats = sim.run_with_warmup(params.warmup, params.measure);
         (stats, t.elapsed().as_secs_f64() * 1e3)
     })
+}
+
+/// Per-cell cycle watchdog budget: a cell may spend at most
+/// `instructions × cycles_per_instruction` cycles (with an absolute
+/// `floor` so short runs aren't starved). Twenty cycles per
+/// instruction is ~40× the worst IPC any working configuration
+/// exhibits, so only genuinely wedged cells trip it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellBudget {
+    /// Cycle allowance per requested instruction.
+    pub cycles_per_instruction: u64,
+    /// Minimum total allowance.
+    pub floor: u64,
+}
+
+impl Default for CellBudget {
+    fn default() -> Self {
+        CellBudget {
+            cycles_per_instruction: 20,
+            floor: 1_000_000,
+        }
+    }
+}
+
+impl CellBudget {
+    /// The absolute cycle cap for a run of `instructions`.
+    pub fn max_cycles(&self, instructions: u64) -> u64 {
+        instructions
+            .saturating_mul(self.cycles_per_instruction)
+            .max(self.floor)
+    }
+}
+
+/// Hardened variant of [`run_cells`]: panics are contained to the
+/// cell that raised them ([`CellError::Panic`]), and each cell runs
+/// under `budget`'s cycle watchdog ([`CellError::Timeout`]). The
+/// other cells' results are unaffected by any failure.
+pub fn run_cells_checked(
+    cells: &[SweepCell],
+    params: RunParams,
+    budget: CellBudget,
+) -> Vec<Result<SimStats, CellError>> {
+    run_cells_resumable(cells, params, budget, None, &[])
+}
+
+/// Like [`run_cells_checked`], with JSONL checkpoint/resume: cells
+/// already present in `prior` (loaded by
+/// [`SweepCheckpoint::open`](crate::checkpoint::SweepCheckpoint::open))
+/// are returned as-is without re-simulation, and each freshly
+/// completed cell is appended to `checkpoint` the moment its worker
+/// finishes — so an interrupted sweep loses at most the in-flight
+/// cells.
+///
+/// Simulations are deterministic and checkpoints store exact integer
+/// counters, so a resumed sweep's final results are bit-identical to
+/// an uninterrupted one.
+pub fn run_cells_resumable(
+    cells: &[SweepCell],
+    params: RunParams,
+    budget: CellBudget,
+    checkpoint: Option<&SweepCheckpoint>,
+    prior: &[Option<SimStats>],
+) -> Vec<Result<SimStats, CellError>> {
+    let todo: Vec<(usize, &SweepCell)> = cells
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| prior.get(*i).is_none_or(|p| p.is_none()))
+        .collect();
+    let max = budget.max_cycles(params.warmup + params.measure);
+    let fresh = par_try_map(&todo, effective_jobs(params.jobs), |&(i, cell)| {
+        let mut sim = Simulator::new(&cell.program, cell.config.clone());
+        sim.run_budgeted(params.warmup, max)?;
+        sim.reset_stats();
+        let stats = sim.run_budgeted(params.measure, max)?;
+        if let Some(ck) = checkpoint {
+            ck.record(i, &stats).map_err(|e| CellError::Checkpoint {
+                message: e.to_string(),
+            })?;
+        }
+        Ok(stats)
+    });
+    let mut fresh_iter = fresh.into_iter();
+    (0..cells.len())
+        .map(|i| match prior.get(i).and_then(Clone::clone) {
+            Some(stats) => Ok(stats),
+            None => fresh_iter
+                .next()
+                .expect("one fresh result per cell missing from the checkpoint"),
+        })
+        .collect()
 }
 
 /// Generates each benchmark's program once (itself in parallel) and
@@ -212,5 +409,119 @@ mod tests {
             SweepCell::new(Arc::clone(&program), SimConfig::baseline(128)),
         ];
         assert!(Arc::ptr_eq(&cells[0].program, &cells[1].program));
+    }
+
+    #[test]
+    fn par_try_map_contains_panics_to_the_failing_item() {
+        let items: Vec<u64> = (0..12).collect();
+        for jobs in [1, 4] {
+            let results = par_try_map(&items, jobs, |&x| {
+                if x == 5 {
+                    panic!("boom at {x}");
+                }
+                Ok(x * 2)
+            });
+            assert_eq!(results.len(), 12);
+            for (i, r) in results.iter().enumerate() {
+                if i == 5 {
+                    assert_eq!(
+                        *r,
+                        Err(CellError::Panic {
+                            message: "boom at 5".into()
+                        })
+                    );
+                } else {
+                    assert_eq!(*r, Ok(i as u64 * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_cell_reports_error_and_spares_the_rest() {
+        // SimConfig::baseline(63): the trace cache asserts its
+        // geometry (63 entries don't divide into ways), so this cell
+        // panics inside the worker. The acceptance bar: the sweep
+        // completes, that cell reports CellError::Panic, every other
+        // cell's result is correct (matches an unhardened run of the
+        // same cell).
+        let program = Arc::new(WorkloadBuilder::new(Benchmark::Compress).seed(1).build());
+        let cells = [
+            SweepCell::new(Arc::clone(&program), SimConfig::baseline(64)),
+            SweepCell::new(Arc::clone(&program), SimConfig::baseline(63)),
+            SweepCell::new(Arc::clone(&program), SimConfig::with_precon(64, 32)),
+        ];
+        let params = RunParams {
+            warmup: 2_000,
+            measure: 4_000,
+            jobs: 2,
+            ..RunParams::quick()
+        };
+        let results = run_cells_checked(&cells, params, CellBudget::default());
+        assert!(results[0].is_ok());
+        match &results[1] {
+            Err(CellError::Panic { message }) => {
+                assert!(message.contains("entries"), "message: {message}")
+            }
+            other => panic!("expected a panic error, got {other:?}"),
+        }
+        assert!(results[2].is_ok());
+        // The surviving cells match an unhardened run exactly.
+        let clean = run_cells(&cells[..1], params);
+        assert_eq!(results[0].as_ref().unwrap(), &clean[0]);
+    }
+
+    #[test]
+    fn wedged_cell_trips_the_watchdog() {
+        let program = Arc::new(WorkloadBuilder::new(Benchmark::Gcc).seed(1).build());
+        let cells = [
+            SweepCell::new(Arc::clone(&program), SimConfig::baseline(64)),
+            SweepCell::new(Arc::clone(&program), SimConfig::baseline(128)),
+        ];
+        let params = RunParams {
+            warmup: 10_000,
+            measure: 100_000,
+            jobs: 2,
+            ..RunParams::quick()
+        };
+        // A budget far below any real configuration's need: both
+        // cells must time out, structurally, without hanging.
+        let starved = CellBudget {
+            cycles_per_instruction: 0,
+            floor: 50,
+        };
+        let results = run_cells_checked(&cells, params, starved);
+        for r in &results {
+            match r {
+                Err(CellError::Timeout { cycles, retired }) => {
+                    assert!(*cycles >= 50);
+                    assert!(*retired < 110_000);
+                }
+                other => panic!("expected timeout, got {other:?}"),
+            }
+        }
+        // And a generous budget completes.
+        let fine = run_cells_checked(&cells, params, CellBudget::default());
+        assert!(fine.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn hardened_results_match_plain_results() {
+        let program = Arc::new(WorkloadBuilder::new(Benchmark::Li).seed(1).build());
+        let cells = [
+            SweepCell::new(Arc::clone(&program), SimConfig::baseline(64)),
+            SweepCell::new(Arc::clone(&program), SimConfig::with_precon(64, 64)),
+        ];
+        let params = RunParams {
+            warmup: 2_000,
+            measure: 4_000,
+            ..RunParams::quick()
+        };
+        let plain = run_cells(&cells, params);
+        let hardened: Vec<SimStats> = run_cells_checked(&cells, params, CellBudget::default())
+            .into_iter()
+            .map(|r| r.expect("generous budget"))
+            .collect();
+        assert_eq!(plain, hardened, "watchdog path changes nothing");
     }
 }

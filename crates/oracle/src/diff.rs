@@ -14,8 +14,9 @@
 //! static code at its claimed address.
 
 use crate::interp::Oracle;
+use tpc_core::FaultPlan;
 use tpc_isa::Program;
-use tpc_processor::{SimConfig, Simulator};
+use tpc_processor::{SimConfig, SimStats, Simulator};
 
 /// How many instructions each comparison chunk covers. Chunking keeps
 /// memory bounded on long runs and localises invariant failures.
@@ -112,6 +113,52 @@ pub fn run_differential(
     })
 }
 
+/// Summary of a clean fault-injected differential run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultedDiffReport {
+    /// Configurations exercised.
+    pub configs: usize,
+    /// Instructions compared per configuration.
+    pub instructions: u64,
+    /// Faults injected, summed across configurations.
+    pub faults_injected: u64,
+    /// Faults that landed on live state, summed across configurations.
+    pub faults_landed: u64,
+}
+
+/// Runs every configuration with `plan` attached and asserts the
+/// retirement stream still matches the golden model exactly — the
+/// correctness-neutrality property: preconstruction is hint hardware,
+/// so an adversarial fault schedule over its every mechanism may move
+/// hit rates and IPC but can never change what retires.
+///
+/// The executor cross-check is skipped (faults cannot reach it); the
+/// per-chunk invariant checks still run, so a fault that corrupted a
+/// structure into an illegal state is caught even if retirement
+/// happened to survive.
+pub fn run_differential_faulted(
+    program: &Program,
+    configs: &[NamedConfig],
+    instructions: u64,
+    plan: FaultPlan,
+) -> Result<FaultedDiffReport, Divergence> {
+    let mut report = FaultedDiffReport {
+        configs: configs.len(),
+        instructions,
+        ..FaultedDiffReport::default()
+    };
+    for nc in configs {
+        let faulted = NamedConfig {
+            name: nc.name,
+            config: nc.config.clone().with_faults(plan),
+        };
+        let stats = check_config(program, &faulted, instructions)?;
+        report.faults_injected += stats.faults.injected;
+        report.faults_landed += stats.faults.landed;
+    }
+    Ok(report)
+}
+
 /// Step-by-step comparison of the production [`tpc_exec::Executor`]
 /// against the oracle: pc, opcode, branch direction, successor, and
 /// effective memory address must all agree at every instruction.
@@ -138,8 +185,13 @@ fn check_executor(program: &Program, instructions: u64) -> Result<(), Divergence
 }
 
 /// Runs one simulator configuration and compares its retirement
-/// stream against a fresh oracle advanced in lockstep.
-fn check_config(program: &Program, nc: &NamedConfig, instructions: u64) -> Result<(), Divergence> {
+/// stream against a fresh oracle advanced in lockstep. Returns the
+/// final statistics so faulted runs can report injection counts.
+fn check_config(
+    program: &Program,
+    nc: &NamedConfig,
+    instructions: u64,
+) -> Result<SimStats, Divergence> {
     let mut config = nc.config.clone();
     config.record_retirement = true;
     let mut sim = Simulator::new(program, config);
@@ -195,7 +247,7 @@ fn check_config(program: &Program, nc: &NamedConfig, instructions: u64) -> Resul
             });
         }
     }
-    Ok(())
+    Ok(sim.stats())
 }
 
 #[cfg(test)]
@@ -237,5 +289,23 @@ mod tests {
         let report = run_differential(&p, &standard_configs(), 2_000).unwrap();
         assert_eq!(report.configs, 4);
         assert!(report.instructions >= 2_000);
+    }
+
+    #[test]
+    fn tiny_loop_matches_under_heavy_faults() {
+        let p = tiny_loop();
+        let plan = FaultPlan::all(0xD15EA5E, 200);
+        let report = run_differential_faulted(&p, &standard_configs(), 2_000, plan).unwrap();
+        assert_eq!(report.configs, 4);
+        assert!(report.faults_injected > 0, "200‰ per kind must inject");
+        assert!(report.faults_landed > 0, "some must land on live state");
+    }
+
+    #[test]
+    fn zero_intensity_faulted_run_matches_clean_run() {
+        let p = tiny_loop();
+        let plan = FaultPlan::all(1, 0);
+        let report = run_differential_faulted(&p, &standard_configs(), 1_000, plan).unwrap();
+        assert_eq!(report.faults_injected, 0);
     }
 }

@@ -21,9 +21,14 @@ pub mod diff;
 pub mod fuzzgen;
 pub mod interp;
 
-pub use diff::{run_differential, standard_configs, DiffReport, Divergence, NamedConfig};
+pub use diff::{
+    run_differential, run_differential_faulted, standard_configs, DiffReport, Divergence,
+    FaultedDiffReport, NamedConfig,
+};
 pub use fuzzgen::{generate, shrink, Scenario, FEAT_ALL};
 pub use interp::{Oracle, OracleInstr};
+
+use tpc_core::FaultPlan;
 
 /// Generates the scenario's program and runs the full differential
 /// matrix over it for at least `instructions` retirements per
@@ -31,6 +36,30 @@ pub use interp::{Oracle, OracleInstr};
 pub fn check_scenario(s: &Scenario, instructions: u64) -> Result<DiffReport, Divergence> {
     let program = generate(s);
     run_differential(&program, &standard_configs(), instructions)
+}
+
+/// The fault plan a fuzzing scenario implies at a given intensity:
+/// all kinds enabled, seeded from the scenario seed so the schedule
+/// is part of the one-line repro.
+pub fn scenario_fault_plan(s: &Scenario, per_mille: u32) -> FaultPlan {
+    FaultPlan::all(s.seed ^ 0x5EED_FA17, per_mille)
+}
+
+/// Generates the scenario's program and runs the fault-injected
+/// differential matrix over it: every configuration must retire the
+/// oracle's exact stream under the scenario-derived fault schedule.
+pub fn check_scenario_faulted(
+    s: &Scenario,
+    instructions: u64,
+    per_mille: u32,
+) -> Result<FaultedDiffReport, Divergence> {
+    let program = generate(s);
+    run_differential_faulted(
+        &program,
+        &standard_configs(),
+        instructions,
+        scenario_fault_plan(s, per_mille),
+    )
 }
 
 /// Checks a scenario, and on failure greedily shrinks it; returns the
@@ -44,6 +73,29 @@ pub fn check_and_shrink(
         Err(first) => {
             let shrunk = shrink(*s, |cand| check_scenario(cand, instructions).is_err());
             let div = check_scenario(&shrunk, instructions).err().unwrap_or(first);
+            Err((shrunk, div))
+        }
+    }
+}
+
+/// Fault-injected variant of [`check_and_shrink`]: the shrink
+/// predicate re-derives each candidate's fault plan from its own
+/// seed, so the shrunk scenario reproduces with the same one-line
+/// command.
+pub fn check_and_shrink_faulted(
+    s: &Scenario,
+    instructions: u64,
+    per_mille: u32,
+) -> Result<FaultedDiffReport, (Scenario, Divergence)> {
+    match check_scenario_faulted(s, instructions, per_mille) {
+        Ok(report) => Ok(report),
+        Err(first) => {
+            let shrunk = shrink(*s, |cand| {
+                check_scenario_faulted(cand, instructions, per_mille).is_err()
+            });
+            let div = check_scenario_faulted(&shrunk, instructions, per_mille)
+                .err()
+                .unwrap_or(first);
             Err((shrunk, div))
         }
     }

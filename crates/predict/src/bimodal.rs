@@ -104,6 +104,16 @@ impl Bimodal {
     pub fn accuracy_permille(&self) -> Option<u32> {
         (self.lookups > 0).then(|| (self.correct * 1000 / self.lookups) as u32)
     }
+
+    /// Fault-injection hook: flips one bit (`bit & 1`) of the counter
+    /// at `entry` (masked into range). A 2-bit counter stays in
+    /// `0..=3`, so the predictor remains structurally valid — the
+    /// flip can only change predictions and bias classifications,
+    /// which are performance hints, never architectural state.
+    pub fn flip_bit(&mut self, entry: usize, bit: u8) {
+        let idx = entry & self.mask;
+        self.counters[idx] ^= 1 << (bit & 1);
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ pub mod simulator;
 pub mod stream;
 
 pub use simulator::{
-    FrontendBreakdown, RetiredInstr, SimConfig, SimEvent, SimStats, Simulator, StorageKind,
-    SupplySource,
+    BudgetExceeded, FrontendBreakdown, RetiredInstr, SimConfig, SimEvent, SimStats, Simulator,
+    StorageKind, SupplySource,
 };
 pub use stream::{DynTrace, TraceStream};

@@ -4,7 +4,10 @@ use crate::backend::{Backend, BackendConfig, TraceTiming};
 use crate::stream::{DynTrace, TraceStream};
 use std::collections::VecDeque;
 use tpc_core::storage::{SplitStore, StoreCounters, TraceStore, UnifiedConfig, UnifiedStore};
-use tpc_core::{preprocess, EngineConfig, EngineStats, PreconEngine};
+use tpc_core::{
+    preprocess, EngineConfig, EngineFault, EngineStats, FaultKind, FaultPlan, FaultState,
+    FaultStats, PreconEngine,
+};
 use tpc_isa::{Addr, OpClass, Program};
 use tpc_mem::{AccessKind, DataCacheStats, IcacheStats, InstrCache, InstrCacheConfig};
 use tpc_predict::{Bimodal, NextTracePredictor, NtpConfig, ReturnAddressStack};
@@ -60,6 +63,11 @@ pub struct SimConfig {
     /// differential oracle to compare the simulator's retirement
     /// stream against the reference interpreter.
     pub record_retirement: bool,
+    /// Deterministic fault-injection plan perturbing the
+    /// preconstruction mechanisms (`None` disables injection). Faults
+    /// may move performance counters but never the retirement stream
+    /// — the differential oracle checks this for arbitrary plans.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -77,6 +85,7 @@ impl Default for SimConfig {
             mispredict_penalty: 5,
             record_events: false,
             record_retirement: false,
+            faults: None,
         }
     }
 }
@@ -111,6 +120,12 @@ impl SimConfig {
     pub fn with_preprocess(mut self) -> Self {
         self.preprocess = true;
         self.engine.preprocess = true;
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -183,6 +198,8 @@ pub struct SimStats {
     pub frontend: FrontendBreakdown,
     /// Data-cache counters.
     pub dcache: DataCacheStats,
+    /// Fault-injection counters (all zero when no plan is attached).
+    pub faults: FaultStats,
 }
 
 impl SimStats {
@@ -230,7 +247,164 @@ impl SimStats {
             .checked_div(self.trace_fetches)
             .unwrap_or(0)
     }
+
+    /// Number of `u64` words in the [`SimStats::to_words`] encoding.
+    pub const WORDS: usize = 62;
+
+    /// Encodes every counter as a fixed-order `u64` vector — the
+    /// sweep checkpoint format. All fields are exact integers, so
+    /// `from_words(&to_words())` round-trips bit-identically with no
+    /// serialization dependency.
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut w = Vec::with_capacity(Self::WORDS);
+        w.extend([
+            self.cycles,
+            self.retired_instructions,
+            self.retired_traces,
+            self.trace_fetches,
+            self.trace_cache_hits,
+            self.precon_buffer_hits,
+            self.trace_cache_misses,
+            self.slow_path_instructions,
+            self.slow_path_miss_instructions,
+            self.slow_path_lines,
+            self.ntp_mispredicts,
+            self.slow_path_predict_stalls,
+            self.misses_previously_built,
+        ]);
+        w.extend([
+            self.icache.demand_accesses,
+            self.icache.demand_misses,
+            self.icache.precon_accesses,
+            self.icache.precon_misses,
+            self.icache.demand_hits_on_precon_lines,
+        ]);
+        w.extend([
+            self.engine.regions_started,
+            self.engine.regions_completed,
+            self.engine.regions_caught_up,
+            self.engine.regions_fetch_bound,
+            self.engine.regions_buffer_bound,
+            self.engine.traces_built,
+            self.engine.traces_already_cached,
+            self.engine.successors_dropped,
+            self.engine.lines_fetched,
+            self.engine.start_points_observed,
+        ]);
+        w.extend([
+            self.store.fetches,
+            self.store.tc_hits,
+            self.store.precon_hits,
+            self.store.misses,
+            self.store.precon_fills,
+            self.store.precon_rejected,
+        ]);
+        w.extend([
+            self.frontend.dispatched,
+            self.frontend.slow_build,
+            self.frontend.mispredict_stall,
+            self.frontend.backpressure,
+        ]);
+        w.extend([
+            self.dcache.loads,
+            self.dcache.stores,
+            self.dcache.misses,
+            self.dcache.writebacks,
+        ]);
+        w.extend([self.faults.injected, self.faults.landed]);
+        w.extend(self.faults.injected_by_kind);
+        w.extend(self.faults.landed_by_kind);
+        debug_assert_eq!(w.len(), Self::WORDS);
+        w
+    }
+
+    /// Decodes a [`SimStats::to_words`] vector; `None` on length
+    /// mismatch (a truncated or foreign checkpoint line).
+    pub fn from_words(words: &[u64]) -> Option<SimStats> {
+        if words.len() != Self::WORDS {
+            return None;
+        }
+        let mut it = words.iter().copied();
+        let mut next = || it.next().expect("length checked");
+        let mut s = SimStats {
+            cycles: next(),
+            retired_instructions: next(),
+            retired_traces: next(),
+            trace_fetches: next(),
+            trace_cache_hits: next(),
+            precon_buffer_hits: next(),
+            trace_cache_misses: next(),
+            slow_path_instructions: next(),
+            slow_path_miss_instructions: next(),
+            slow_path_lines: next(),
+            ntp_mispredicts: next(),
+            slow_path_predict_stalls: next(),
+            misses_previously_built: next(),
+            ..SimStats::default()
+        };
+        s.icache.demand_accesses = next();
+        s.icache.demand_misses = next();
+        s.icache.precon_accesses = next();
+        s.icache.precon_misses = next();
+        s.icache.demand_hits_on_precon_lines = next();
+        s.engine.regions_started = next();
+        s.engine.regions_completed = next();
+        s.engine.regions_caught_up = next();
+        s.engine.regions_fetch_bound = next();
+        s.engine.regions_buffer_bound = next();
+        s.engine.traces_built = next();
+        s.engine.traces_already_cached = next();
+        s.engine.successors_dropped = next();
+        s.engine.lines_fetched = next();
+        s.engine.start_points_observed = next();
+        s.store.fetches = next();
+        s.store.tc_hits = next();
+        s.store.precon_hits = next();
+        s.store.misses = next();
+        s.store.precon_fills = next();
+        s.store.precon_rejected = next();
+        s.frontend.dispatched = next();
+        s.frontend.slow_build = next();
+        s.frontend.mispredict_stall = next();
+        s.frontend.backpressure = next();
+        s.dcache.loads = next();
+        s.dcache.stores = next();
+        s.dcache.misses = next();
+        s.dcache.writebacks = next();
+        s.faults.injected = next();
+        s.faults.landed = next();
+        for k in 0..tpc_core::NUM_FAULT_KINDS {
+            s.faults.injected_by_kind[k] = next();
+        }
+        for k in 0..tpc_core::NUM_FAULT_KINDS {
+            s.faults.landed_by_kind[k] = next();
+        }
+        Some(s)
+    }
 }
+
+/// Error from [`Simulator::run_budgeted`]: the cycle watchdog fired
+/// before the instruction target was reached (a wedged or
+/// pathologically slow configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Absolute cycle count when the watchdog fired.
+    pub cycles: u64,
+    /// Instructions retired by then (cumulative).
+    pub retired: u64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cycle budget exceeded: {} cycles simulated, {} instructions retired",
+            self.cycles, self.retired
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
 
 fn per_kilo(count: u64, instructions: u64) -> f64 {
     if instructions == 0 {
@@ -414,6 +588,8 @@ pub struct Simulator<'a> {
     cycle: u64,
     last_retire_cycle: u64,
     seq: u64,
+    /// Fault-injection runtime state (`None` when no plan attached).
+    faults: Option<FaultState>,
     stats: SimStats,
     events: Vec<SimEvent>,
     /// Retired-instruction log (empty unless
@@ -462,6 +638,7 @@ impl<'a> Simulator<'a> {
             cycle: 0,
             last_retire_cycle: 0,
             seq: 0,
+            faults: config.faults.map(FaultState::new),
             stats: SimStats::default(),
             events: Vec::new(),
             retirement: Vec::new(),
@@ -559,6 +736,29 @@ impl<'a> Simulator<'a> {
         self.run(measure)
     }
 
+    /// Like [`Simulator::run`], but gives up once the *absolute*
+    /// cycle count (across all prior `run`/`run_budgeted` calls on
+    /// this simulator) exceeds `max_cycles` — the sweep executor's
+    /// per-cell watchdog against wedged or pathologically slow
+    /// configurations.
+    pub fn run_budgeted(
+        &mut self,
+        instructions: u64,
+        max_cycles: u64,
+    ) -> Result<SimStats, BudgetExceeded> {
+        let target = self.stats.retired_instructions + instructions;
+        while self.stats.retired_instructions < target {
+            if self.cycle >= max_cycles {
+                return Err(BudgetExceeded {
+                    cycles: self.cycle,
+                    retired: self.stats.retired_instructions,
+                });
+            }
+            self.step();
+        }
+        Ok(self.stats())
+    }
+
     /// Snapshot of the current statistics.
     pub fn stats(&self) -> SimStats {
         let mut s = self.stats.clone();
@@ -566,6 +766,9 @@ impl<'a> Simulator<'a> {
         s.engine = *self.engine.stats();
         s.store = self.store.counters();
         s.dcache = *self.backend.dcache_stats();
+        if let Some(fs) = &self.faults {
+            s.faults = *fs.stats();
+        }
         s
     }
 
@@ -587,6 +790,7 @@ impl<'a> Simulator<'a> {
     pub fn step(&mut self) {
         self.cycle += 1;
         self.stats.cycles += 1;
+        self.apply_faults();
         self.retire_stage();
         let activity = self.fetch_stage();
         let fb = &mut self.stats.frontend;
@@ -605,6 +809,56 @@ impl<'a> Simulator<'a> {
             &self.bimodal,
             &mut *self.store,
         );
+    }
+
+    /// Draws and injects this cycle's scheduled faults (no-op without
+    /// a plan). Runs at the top of the cycle, before retire and
+    /// fetch, so a perturbation is visible to everything downstream
+    /// in the same cycle. Every target is preconstruction *hint*
+    /// state — bimodal counters, prefetch fills, constructors,
+    /// preconstruction-buffer entries, the start stack — so injection
+    /// can move timing and hit rates but never the retirement stream.
+    fn apply_faults(&mut self) {
+        let events = match self.faults.as_mut() {
+            Some(fs) => fs.draw(),
+            None => return,
+        };
+        for ev in events {
+            let landed = match ev.kind {
+                FaultKind::FlipBimodalBit => {
+                    self.bimodal.flip_bit(ev.a as usize, (ev.b & 1) as u8);
+                    true
+                }
+                FaultKind::DropPrefetchFill => self
+                    .engine
+                    .apply_fault(EngineFault::DropPrefetchFill { salt: ev.a }),
+                FaultKind::DelayPrefetchFill => {
+                    self.engine.apply_fault(EngineFault::DelayPrefetchFill {
+                        salt: ev.a,
+                        extra: 1 + ev.b % 16,
+                    })
+                }
+                FaultKind::StallConstructor => {
+                    self.engine.apply_fault(EngineFault::StallConstructor {
+                        salt: ev.a,
+                        cycles: (1 + ev.b % 8) as u32,
+                    })
+                }
+                FaultKind::KillConstructor => self
+                    .engine
+                    .apply_fault(EngineFault::KillConstructor { salt: ev.a }),
+                FaultKind::InvalidatePreconEntry => self.store.fault_invalidate_precon(ev.a),
+                FaultKind::CorruptPreconEntry => self.store.fault_corrupt_precon(ev.a),
+                FaultKind::SpuriousStackPop => self.engine.apply_fault(EngineFault::PopStartPoint),
+                FaultKind::SpuriousStackSquash => self
+                    .engine
+                    .apply_fault(EngineFault::SquashStartStack { salt: ev.a }),
+            };
+            self.faults
+                .as_mut()
+                .expect("drawn from above")
+                .note(ev.kind, landed);
+        }
     }
 
     /// Retires at most one trace per cycle, in order.
@@ -1069,5 +1323,82 @@ mod tests {
         let s = run(SimConfig::baseline(128), Benchmark::Gcc, 30_000);
         assert_eq!(s.icache.precon_accesses, 0);
         assert_eq!(s.precon_buffer_hits, 0);
+    }
+
+    #[test]
+    fn fault_injection_fires_and_lands() {
+        let cfg = SimConfig::with_precon(128, 128).with_faults(FaultPlan::all(0xBEEF, 50));
+        let s = run(cfg, Benchmark::Gcc, 40_000);
+        assert!(s.faults.injected > 0, "plan with 50‰ per kind injects");
+        assert!(s.faults.landed > 0, "some faults hit live state");
+        assert!(s.faults.landed <= s.faults.injected);
+        assert!(s.retired_instructions >= 40_000, "still makes progress");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let p = WorkloadBuilder::new(Benchmark::Vortex).seed(3).build();
+        let cfg = SimConfig::with_precon(128, 128).with_faults(FaultPlan::all(77, 30));
+        let a = Simulator::new(&p, cfg.clone()).run(30_000);
+        let b = Simulator::new(&p, cfg).run(30_000);
+        assert_eq!(a, b, "same plan, same schedule, bit-identical stats");
+        assert!(a.faults.injected > 0);
+    }
+
+    #[test]
+    fn faults_move_stats_but_not_retirement() {
+        let p = WorkloadBuilder::new(Benchmark::Gcc).seed(5).build();
+        let mut clean_cfg = SimConfig::with_precon(128, 128);
+        clean_cfg.record_retirement = true;
+        let mut faulty_cfg = clean_cfg.clone().with_faults(FaultPlan::all(99, 100));
+        faulty_cfg.record_retirement = true;
+        let mut clean = Simulator::new(&p, clean_cfg);
+        let mut faulty = Simulator::new(&p, faulty_cfg);
+        let sc = clean.run(30_000);
+        let sf = faulty.run(30_000);
+        assert!(sf.faults.landed > 0, "faults demonstrably fired");
+        // Same retired instruction *stream*...
+        let rc = clean.take_retirement();
+        let rf = faulty.take_retirement();
+        assert_eq!(rc.len().min(30_500), rc.len(), "sanity");
+        let n = rc.len().min(rf.len());
+        assert_eq!(rc[..n], rf[..n], "retirement stream unchanged");
+        // ...while performance counters moved.
+        let mut sf_zeroed = sf.clone();
+        sf_zeroed.faults = FaultStats::default();
+        assert_ne!(sc, sf_zeroed, "non-fault counters perturbed");
+    }
+
+    #[test]
+    fn stats_words_round_trip() {
+        let cfg = SimConfig::with_precon(64, 64).with_faults(FaultPlan::all(1, 20));
+        let s = run(cfg, Benchmark::Li, 20_000);
+        let words = s.to_words();
+        assert_eq!(words.len(), SimStats::WORDS);
+        let back = SimStats::from_words(&words).expect("well-formed");
+        assert_eq!(s, back, "codec is lossless");
+        assert!(SimStats::from_words(&words[..10]).is_none());
+    }
+
+    #[test]
+    fn run_budgeted_completes_within_generous_budget() {
+        let p = WorkloadBuilder::new(Benchmark::Compress).seed(1).build();
+        let mut sim = Simulator::new(&p, SimConfig::default());
+        let s = sim
+            .run_budgeted(10_000, 10_000_000)
+            .expect("ample budget completes");
+        assert!(s.retired_instructions >= 10_000);
+    }
+
+    #[test]
+    fn run_budgeted_times_out_on_tiny_budget() {
+        let p = WorkloadBuilder::new(Benchmark::Gcc).seed(1).build();
+        let mut sim = Simulator::new(&p, SimConfig::default());
+        let err = sim
+            .run_budgeted(1_000_000, 100)
+            .expect_err("100 cycles cannot retire a million instructions");
+        assert!(err.cycles >= 100);
+        assert!(err.retired < 1_000_000);
+        assert!(err.to_string().contains("cycle budget exceeded"));
     }
 }

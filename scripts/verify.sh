@@ -20,6 +20,30 @@ echo "== differential fuzz, 10s budget, fixed seed =="
 cargo run -p tpc-oracle --release --offline --bin fuzz_sim -- \
   --seed 1 --iters 1000000 --budget-ms 10000 --size 400 --instrs 2500
 
+echo "== fault-injection differential smoke: 120 seeded fault plans =="
+# Every scenario runs fault-free AND under a seeded all-kinds fault
+# plan (40 per mille per kind per cycle); retirement must match the
+# golden model either way — preconstruction is hint hardware.
+cargo run -p tpc-oracle --release --offline --bin fuzz_sim -- \
+  --seed 42 --iters 120 --size 300 --instrs 2000 --faults 40
+
+echo "== checkpoint/resume round-trip: interrupted sweep, identical output =="
+ckpt="$(mktemp -d)/degradation.ckpt"
+run_degradation() {
+  cargo run -p tpc-experiments --release --offline --bin degradation -- \
+    --quick "$@" 2>/dev/null
+}
+run_degradation > /tmp/degradation.reference.md
+run_degradation --checkpoint "$ckpt" > /tmp/degradation.full.md
+diff /tmp/degradation.reference.md /tmp/degradation.full.md
+# Interrupt: keep the header plus the first 5 recorded cells, then
+# resume. The resumed sweep re-runs only what is missing and must
+# print byte-identical output.
+head -n 6 "$ckpt" > "$ckpt.cut" && mv "$ckpt.cut" "$ckpt"
+run_degradation --checkpoint "$ckpt" > /tmp/degradation.resumed.md
+diff /tmp/degradation.reference.md /tmp/degradation.resumed.md
+rm -rf "$(dirname "$ckpt")" /tmp/degradation.{reference,full,resumed}.md
+
 echo "== bench_throughput --quick =="
 cargo run -p tpc-experiments --release --offline --bin bench_throughput -- --quick
 
