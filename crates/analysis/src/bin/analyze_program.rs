@@ -1,0 +1,203 @@
+//! Static analysis report for generated workloads.
+//!
+//! For each requested benchmark, builds the program at the given seed
+//! and scale, then prints its CFG summary, region start points, start
+//! closure, bias-following static trace count, and lint findings.
+//! Output is byte-identical for a given (benchmark set, seed, scale)
+//! regardless of `--jobs` — results are assembled in input order.
+//!
+//! ```text
+//! analyze_program [bench ...] [--seed N] [--scale PERMILLE] [--jobs N]
+//! ```
+//!
+//! Exits non-zero when any analyzed program has lint *errors*
+//! (warnings are informational).
+
+use std::process::ExitCode;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tpc_analysis::{enumerate_biased, lint, Cfg, LintLevel, StaticEnumeration};
+use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+/// Cap on distinct trace keys per benchmark in the bias-following
+/// enumeration (counts are reported as lower bounds past it).
+const MAX_STATIC_TRACES: usize = 200_000;
+
+struct Args {
+    benchmarks: Vec<Benchmark>,
+    seed: u64,
+    scale_permille: u32,
+    jobs: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut benchmarks = Vec::new();
+    let mut seed = 1u64;
+    let mut scale_permille = 1000u32;
+    let mut jobs = 1usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--seed" => {
+                seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--scale" => {
+                scale_permille = take("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--jobs" => {
+                jobs = take("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be positive".into());
+                }
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: analyze_program [bench ...] [--seed N] [--scale PERMILLE] [--jobs N]"
+                        .into(),
+                )
+            }
+            name => benchmarks.push(
+                Benchmark::from_str(name).map_err(|e| format!("unknown benchmark {name}: {e}"))?,
+            ),
+        }
+    }
+    if benchmarks.is_empty() {
+        benchmarks = Benchmark::ALL.to_vec();
+    }
+    Ok(Args {
+        benchmarks,
+        seed,
+        scale_permille,
+        jobs,
+    })
+}
+
+/// Maps `f` over `items` on up to `jobs` threads, returning results
+/// in input order (so report text is independent of scheduling).
+fn map_ordered<T: Sync, U: Send>(items: &[T], jobs: usize, f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<U>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(items.len()).max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                slots.lock().expect("no panics hold the lock")[i] = Some(out);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("worker threads joined")
+        .into_iter()
+        .map(|s| s.expect("every index filled"))
+        .collect()
+}
+
+/// Analyzes one benchmark; returns `(report text, had lint errors)`.
+fn analyze(benchmark: Benchmark, seed: u64, scale_permille: u32) -> (String, bool) {
+    let program = WorkloadBuilder::new(benchmark)
+        .seed(seed)
+        .scale_permille(scale_permille)
+        .build();
+    let cfg = Cfg::build(&program);
+    let summary = cfg.summary(&program);
+    let enumeration = StaticEnumeration::build(&program);
+    let traces = enumerate_biased(&program, MAX_STATIC_TRACES);
+    let lints = lint(&program, &cfg);
+    let errors = lints
+        .iter()
+        .filter(|l| l.level() == LintLevel::Error)
+        .count();
+    let warnings = lints.len() - errors;
+
+    let mut s = String::new();
+    s.push_str(&format!(
+        "## {} (seed {seed}, scale {scale_permille}/1000)\n",
+        benchmark.name()
+    ));
+    s.push_str(&format!("instructions:     {}\n", summary.instructions));
+    s.push_str(&format!(
+        "basic blocks:     {} ({} reachable)\n",
+        summary.blocks, summary.reachable_blocks
+    ));
+    s.push_str(&format!(
+        "call edges:       {}   return blocks: {}   indirect jumps: {}\n",
+        summary.call_edges, summary.return_blocks, summary.indirect_jumps
+    ));
+    s.push_str(&format!("natural loops:    {}\n", summary.natural_loops));
+    s.push_str(&format!(
+        "start points:     {} call-return + {} loop-exit\n",
+        enumeration.call_return_count(),
+        enumeration.loop_exit_count()
+    ));
+    s.push_str(&format!(
+        "start closure:    {} addresses{}\n",
+        enumeration.closure_size(),
+        if enumeration.saturated() {
+            " (budget saturated)"
+        } else {
+            ""
+        }
+    ));
+    s.push_str(&format!(
+        "static traces:    {}{} from {} starts (bias-following)\n",
+        if traces.truncated { ">= " } else { "" },
+        traces.trace_keys.len(),
+        traces.starts_explored
+    ));
+    if lints.is_empty() {
+        s.push_str("lint:             clean\n");
+    } else {
+        s.push_str(&format!(
+            "lint:             {errors} error(s), {warnings} warning(s)\n"
+        ));
+        for l in &lints {
+            s.push_str(&format!("  {l}\n"));
+        }
+    }
+    (s, errors > 0)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let results = map_ordered(&args.benchmarks, args.jobs, |&b| {
+        analyze(b, args.seed, args.scale_permille)
+    });
+    println!("# Static analysis report");
+    println!(
+        "benchmarks: {}  seed: {}  scale: {}/1000",
+        args.benchmarks.len(),
+        args.seed,
+        args.scale_permille
+    );
+    let mut any_errors = false;
+    for (text, had_errors) in results {
+        println!();
+        print!("{text}");
+        any_errors |= had_errors;
+    }
+    if any_errors {
+        eprintln!("lint errors found");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

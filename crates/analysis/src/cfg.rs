@@ -1,0 +1,572 @@
+//! Basic-block control-flow graph over a static [`Program`].
+//!
+//! Leaders are computed with the classic rules — the entry point,
+//! every function entry, every static branch/jump/call target, every
+//! indirect-jump target, and the instruction after any control
+//! transfer — then consecutive leaders partition the code into
+//! blocks. Edges are interprocedural: a call contributes both a call
+//! edge into its callee and a fall-through edge to its return point
+//! (the callee's return eventually lands there), which is the same
+//! over-approximation the preconstruction engine's region walk makes.
+//! Dominators (iterative, over reverse postorder from a virtual root
+//! covering every function entry) and natural-loop back edges are
+//! computed on the same graph.
+
+use std::collections::{BTreeSet, HashMap};
+use tpc_isa::{Addr, Op, OpClass, Program};
+
+/// One basic block: a maximal straight-line run of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: Addr,
+    /// Number of instructions.
+    pub len: u32,
+    /// Successor blocks, by index into [`Cfg::blocks`]. For a call
+    /// block this includes both the callee entry and the return
+    /// point.
+    pub successors: Vec<usize>,
+    /// Predecessor blocks, by index.
+    pub predecessors: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// Address of the block's last instruction.
+    pub fn last(&self) -> Addr {
+        self.start + (self.len - 1)
+    }
+}
+
+/// A call edge: the call site, its callee entry, and the return
+/// point the matching return comes back to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallEdge {
+    /// Address of the `jal`.
+    pub site: Addr,
+    /// Callee entry address.
+    pub callee: Addr,
+    /// The instruction after the call — the paper's `CallReturn`
+    /// region start point.
+    pub return_point: Addr,
+}
+
+/// The control-flow graph of one program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    /// Block index of every instruction address.
+    block_of: Vec<usize>,
+    call_edges: Vec<CallEdge>,
+    /// Blocks ending in `ret`.
+    return_blocks: Vec<usize>,
+    /// Indirect jumps and their static target sets (the CFG's
+    /// "sinks": trace construction terminates on them).
+    indirect_sinks: Vec<(Addr, Vec<Addr>)>,
+    /// Reachability from the entry point and every function entry.
+    reachable: Vec<bool>,
+    /// Immediate dominator of each block (`usize::MAX` when
+    /// unreachable; a root block may dominate itself).
+    idom: Vec<usize>,
+    /// Natural-loop back edges `(latch, header)` — edges whose head
+    /// dominates their tail.
+    back_edges: Vec<(usize, usize)>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.len();
+        assert!(n > 0, "programs are validated non-empty");
+
+        // --- leaders -------------------------------------------------
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        leaders.insert(0);
+        leaders.insert(program.entry().word());
+        for f in program.functions() {
+            leaders.insert(f.entry.word());
+        }
+        for (addr, op) in program.iter() {
+            if let Some(t) = op.static_target() {
+                leaders.insert(t.word());
+            }
+            for t in program.indirect_targets(addr) {
+                leaders.insert(t.word());
+            }
+            if op.is_block_terminator() && (addr.word() + 1) < n as u32 {
+                leaders.insert(addr.word() + 1);
+            }
+        }
+
+        // --- blocks --------------------------------------------------
+        let starts: Vec<u32> = leaders.into_iter().collect();
+        let mut block_of = vec![0usize; n];
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(starts.len());
+        for (i, &s) in starts.iter().enumerate() {
+            let end = starts.get(i + 1).copied().unwrap_or(n as u32);
+            for w in s..end {
+                block_of[w as usize] = i;
+            }
+            blocks.push(BasicBlock {
+                start: Addr::new(s),
+                len: end - s,
+                successors: Vec::new(),
+                predecessors: Vec::new(),
+            });
+        }
+
+        // --- edges ---------------------------------------------------
+        let mut call_edges = Vec::new();
+        let mut return_blocks = Vec::new();
+        let mut indirect_sinks = Vec::new();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (i, block) in blocks.iter().enumerate() {
+            let last = block.last();
+            let op = *program.fetch(last).expect("block addresses in range");
+            let mut succ_addrs: Vec<Addr> = Vec::new();
+            match op.class() {
+                OpClass::Branch => {
+                    succ_addrs.push(op.static_target().expect("branches have targets"));
+                    succ_addrs.push(last.next());
+                }
+                OpClass::Jump => succ_addrs.push(op.static_target().expect("jumps have targets")),
+                OpClass::Call => {
+                    let callee = op.static_target().expect("calls have targets");
+                    call_edges.push(CallEdge {
+                        site: last,
+                        callee,
+                        return_point: last.next(),
+                    });
+                    succ_addrs.push(callee);
+                    succ_addrs.push(last.next());
+                }
+                OpClass::Return => return_blocks.push(i),
+                OpClass::IndirectJump => {
+                    let targets = program.indirect_targets(last).to_vec();
+                    succ_addrs.extend(targets.iter().copied());
+                    indirect_sinks.push((last, targets));
+                }
+                OpClass::Halt => {}
+                _ => succ_addrs.push(last.next()),
+            }
+            for a in succ_addrs {
+                if (a.word() as usize) < n {
+                    edges.push((i, block_of[a.word() as usize]));
+                }
+            }
+        }
+        for &(u, v) in &edges {
+            if !blocks[u].successors.contains(&v) {
+                blocks[u].successors.push(v);
+            }
+            if !blocks[v].predecessors.contains(&u) {
+                blocks[v].predecessors.push(u);
+            }
+        }
+
+        // --- reachability from entry + every function entry ----------
+        let mut roots: Vec<usize> = vec![block_of[program.entry().word() as usize]];
+        for f in program.functions() {
+            let b = block_of[f.entry.word() as usize];
+            if !roots.contains(&b) {
+                roots.push(b);
+            }
+        }
+        let mut reachable = vec![false; blocks.len()];
+        let mut work: Vec<usize> = roots.clone();
+        for &r in &roots {
+            reachable[r] = true;
+        }
+        while let Some(b) = work.pop() {
+            for &s in &blocks[b].successors {
+                if !reachable[s] {
+                    reachable[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+
+        let (idom, back_edges) = dominators(&blocks, &roots, &reachable);
+
+        Cfg {
+            blocks,
+            block_of,
+            call_edges,
+            return_blocks,
+            indirect_sinks,
+            reachable,
+            idom,
+            back_edges,
+        }
+    }
+
+    /// All basic blocks, in address order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Index of the block containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` lies outside the program.
+    pub fn block_of(&self, addr: Addr) -> usize {
+        self.block_of[addr.word() as usize]
+    }
+
+    /// All call edges, in address order of the call site.
+    pub fn call_edges(&self) -> &[CallEdge] {
+        &self.call_edges
+    }
+
+    /// Indices of blocks ending in a return.
+    pub fn return_blocks(&self) -> &[usize] {
+        &self.return_blocks
+    }
+
+    /// Indirect jumps and their static target sets.
+    pub fn indirect_sinks(&self) -> &[(Addr, Vec<Addr>)] {
+        &self.indirect_sinks
+    }
+
+    /// Whether block `b` is reachable from the entry point or any
+    /// function entry.
+    pub fn is_reachable(&self, b: usize) -> bool {
+        self.reachable[b]
+    }
+
+    /// Number of reachable blocks.
+    pub fn reachable_count(&self) -> usize {
+        self.reachable.iter().filter(|&&r| r).count()
+    }
+
+    /// Whether block `a` dominates block `b` (both must be
+    /// reachable; an unreachable operand is never dominated).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if !self.reachable[a] || !self.reachable[b] {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let up = self.idom[cur];
+            if up == usize::MAX || up == cur {
+                return false;
+            }
+            cur = up;
+        }
+    }
+
+    /// Natural-loop back edges `(latch, header)`: reachable edges
+    /// whose head dominates their tail.
+    pub fn back_edges(&self) -> &[(usize, usize)] {
+        &self.back_edges
+    }
+
+    /// Number of natural loops (distinct headers with a back edge).
+    pub fn natural_loop_count(&self) -> usize {
+        let headers: BTreeSet<usize> = self.back_edges.iter().map(|&(_, h)| h).collect();
+        headers.len()
+    }
+}
+
+/// Iterative dominator computation over reverse postorder, with a
+/// virtual root in front of every real root (Cooper/Harvey/Kennedy).
+/// Returns per-block immediate dominators (`usize::MAX` when
+/// unreachable or a root) and the natural-loop back edges.
+fn dominators(
+    blocks: &[BasicBlock],
+    roots: &[usize],
+    reachable: &[bool],
+) -> (Vec<usize>, Vec<(usize, usize)>) {
+    let n = blocks.len();
+    // Postorder DFS from the virtual root (iterative).
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    for &root in roots {
+        if visited[root] {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        visited[root] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < blocks[b].successors.len() {
+                let s = blocks[b].successors[*next];
+                *next += 1;
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                order.push(b);
+                stack.pop();
+            }
+        }
+    }
+    // Reverse postorder index; roots are seeded as their own idom
+    // (standing in for the virtual root).
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in order.iter().rev().enumerate() {
+        rpo_index[b] = i;
+    }
+    let mut idom = vec![usize::MAX; n];
+    for &root in roots {
+        idom[root] = root;
+    }
+    let intersect = |idom: &[usize], rpo: &[usize], mut a: usize, mut b: usize| -> usize {
+        while a != b {
+            while rpo[a] > rpo[b] {
+                a = idom[a];
+            }
+            while rpo[b] > rpo[a] {
+                b = idom[b];
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().rev() {
+            if roots.contains(&b) {
+                continue;
+            }
+            let mut new_idom = usize::MAX;
+            for &p in &blocks[b].predecessors {
+                if idom[p] == usize::MAX {
+                    continue;
+                }
+                new_idom = if new_idom == usize::MAX {
+                    p
+                } else {
+                    intersect(&idom, &rpo_index, new_idom, p)
+                };
+            }
+            if new_idom != usize::MAX && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    // Back edges: u → v with v dominating u. Dominance via idom
+    // chain walk (roots self-loop terminates the walk).
+    let dominates = |a: usize, mut b: usize| -> bool {
+        loop {
+            if b == a {
+                return true;
+            }
+            let up = idom[b];
+            if up == usize::MAX || up == b {
+                return false;
+            }
+            b = up;
+        }
+    };
+    let mut back_edges = Vec::new();
+    for (u, block) in blocks.iter().enumerate() {
+        if !reachable[u] {
+            continue;
+        }
+        for &v in &block.successors {
+            if reachable[v] && dominates(v, u) {
+                back_edges.push((u, v));
+            }
+        }
+    }
+    (idom, back_edges)
+}
+
+/// Summary counts of a CFG, used by the `analyze_program` report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfgSummary {
+    /// Static instructions.
+    pub instructions: usize,
+    /// Basic blocks.
+    pub blocks: usize,
+    /// Blocks reachable from the entry and function entries.
+    pub reachable_blocks: usize,
+    /// Call edges.
+    pub call_edges: usize,
+    /// Blocks ending in a return.
+    pub return_blocks: usize,
+    /// Indirect jumps.
+    pub indirect_jumps: usize,
+    /// Natural loops.
+    pub natural_loops: usize,
+}
+
+impl Cfg {
+    /// Summary counts for reporting.
+    pub fn summary(&self, program: &Program) -> CfgSummary {
+        CfgSummary {
+            instructions: program.len(),
+            blocks: self.blocks.len(),
+            reachable_blocks: self.reachable_count(),
+            call_edges: self.call_edges.len(),
+            return_blocks: self.return_blocks.len(),
+            indirect_jumps: self.indirect_sinks.len(),
+            natural_loops: self.natural_loop_count(),
+        }
+    }
+}
+
+/// Per-address operation lookup table used by enumeration (avoids
+/// re-deriving classifications in inner loops).
+pub(crate) fn op_table(program: &Program) -> HashMap<u32, Op> {
+    program.iter().map(|(a, op)| (a.word(), *op)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_isa::model::OutcomeModel;
+    use tpc_isa::{BranchCond, ProgramBuilder, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn branch_to(target: Addr) -> Op {
+        Op::Branch {
+            cond: BranchCond::Ne,
+            rs1: r(1),
+            rs2: r(2),
+            target,
+        }
+    }
+
+    /// `0: nop; 1: bne →0 (loop); 2: nop; 3: halt`
+    fn loop_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.push(Op::Nop);
+        b.push_branch(branch_to(top), OutcomeModel::Loop { trip: 5 });
+        b.push(Op::Nop);
+        b.push(Op::Halt);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn loop_partitions_into_two_blocks() {
+        let p = loop_program();
+        let cfg = Cfg::build(&p);
+        // Leaders: 0 (entry/target), 2 (post-branch) → blocks [0,2) [2,4).
+        assert_eq!(cfg.blocks().len(), 2);
+        assert_eq!(cfg.blocks()[0].start, Addr::new(0));
+        assert_eq!(cfg.blocks()[0].len, 2);
+        assert_eq!(cfg.block_of(Addr::new(1)), 0);
+        assert_eq!(cfg.block_of(Addr::new(3)), 1);
+    }
+
+    #[test]
+    fn loop_back_edge_detected() {
+        let p = loop_program();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.back_edges(), &[(0, 0)]);
+        assert_eq!(cfg.natural_loop_count(), 1);
+        assert!(cfg.dominates(0, 1));
+        assert!(!cfg.dominates(1, 0));
+    }
+
+    #[test]
+    fn call_edges_record_return_points() {
+        let mut b = ProgramBuilder::new();
+        let call_at = b.push(Op::Call {
+            target: Addr::new(2),
+        });
+        b.push(Op::Halt);
+        b.push(Op::Return); // callee
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(
+            cfg.call_edges(),
+            &[CallEdge {
+                site: call_at,
+                callee: Addr::new(2),
+                return_point: Addr::new(1),
+            }]
+        );
+        // The call block reaches both the callee and the return point.
+        let cb = cfg.block_of(call_at);
+        assert!(cfg.blocks()[cb]
+            .successors
+            .contains(&cfg.block_of(Addr::new(2))));
+        assert!(cfg.blocks()[cb]
+            .successors
+            .contains(&cfg.block_of(Addr::new(1))));
+        assert_eq!(cfg.return_blocks().len(), 1);
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let mut b = ProgramBuilder::new();
+        b.push(Op::Jump {
+            target: Addr::new(2),
+        });
+        b.push(Op::Nop); // dead: jumped over, nothing targets it
+        b.push(Op::Halt);
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let dead = cfg.block_of(Addr::new(1));
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.reachable_count(), cfg.blocks().len() - 1);
+    }
+
+    #[test]
+    fn function_entries_are_reachability_roots() {
+        // A helper that nothing calls: reachable via its function
+        // record (generators legitimately emit these).
+        let mut b = ProgramBuilder::new();
+        let helper = b.push(Op::Nop);
+        b.push(Op::Return);
+        let main = b.push(Op::Halt);
+        b.record_function("helper", helper);
+        b.record_function("main", main);
+        b.set_entry(main);
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        assert!(cfg.is_reachable(cfg.block_of(helper)));
+    }
+
+    #[test]
+    fn indirect_sinks_collect_targets() {
+        let mut b = ProgramBuilder::new();
+        let jr = b.push_indirect(
+            Op::IndirectJump { rs1: r(4) },
+            tpc_isa::model::IndirectModel::uniform(vec![Addr::new(1), Addr::new(2)], 3),
+        );
+        b.push(Op::Halt);
+        b.push(Op::Halt);
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.indirect_sinks().len(), 1);
+        assert_eq!(cfg.indirect_sinks()[0].0, jr);
+        assert_eq!(cfg.indirect_sinks()[0].1.len(), 2);
+        // Both arms are successor blocks of the jump's block.
+        let jb = cfg.block_of(jr);
+        assert_eq!(cfg.blocks()[jb].successors.len(), 2);
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // 0: beq →3; 1: nop; 2: jmp →4; 3: nop; 4: halt
+        let mut b = ProgramBuilder::new();
+        b.push_branch(branch_to(Addr::new(3)), OutcomeModel::AlwaysTaken);
+        b.push(Op::Nop);
+        b.push(Op::Jump {
+            target: Addr::new(4),
+        });
+        b.push(Op::Nop);
+        b.push(Op::Halt);
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let head = cfg.block_of(Addr::new(0));
+        let then = cfg.block_of(Addr::new(1));
+        let els = cfg.block_of(Addr::new(3));
+        let join = cfg.block_of(Addr::new(4));
+        assert!(cfg.dominates(head, join));
+        assert!(!cfg.dominates(then, join));
+        assert!(!cfg.dominates(els, join));
+        assert_eq!(cfg.back_edges().len(), 0);
+    }
+}

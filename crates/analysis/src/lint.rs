@@ -1,0 +1,239 @@
+//! Structural linter for generated workloads.
+//!
+//! The fuzzers hand the simulator arbitrary seeded programs; the
+//! differential oracle's divergence reports are only meaningful when
+//! the input program is structurally sane. The linter checks the
+//! CFG-level properties the preconstruction machinery relies on and
+//! splits findings into two severities:
+//!
+//! * **errors** — shapes that break the paper's region model (a
+//!   backward branch that is not a natural-loop latch, an indirect
+//!   jump with no declared targets, a call without an in-range return
+//!   point). The oracle rejects such programs before simulating them.
+//! * **warnings** — legitimate-but-notable shapes (unreachable
+//!   blocks: both generators emit helper functions that nothing
+//!   calls, reachable only through their function-table entry).
+
+use std::fmt;
+use tpc_isa::{Addr, OpClass, Program};
+
+use crate::cfg::Cfg;
+
+/// Severity of a lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// The program violates a structural invariant the region model
+    /// depends on; simulation results would be unreliable.
+    Error,
+    /// Notable but legal structure.
+    Warning,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// A basic block unreachable from the entry point and every
+    /// function entry.
+    UnreachableBlock {
+        /// First instruction of the block.
+        start: Addr,
+        /// Instructions in the block.
+        len: u32,
+    },
+    /// A backward conditional branch whose target block does not
+    /// dominate the branch block — not a natural-loop latch, so the
+    /// "fall-through of a backward branch" region heuristic
+    /// mispredicts its loop structure.
+    BackwardBranchNotLatch {
+        /// The branch.
+        at: Addr,
+        /// Its (backward) target.
+        target: Addr,
+    },
+    /// An indirect jump whose model declares no targets: the CFG has
+    /// no successor edges, and the executor would have nowhere to go.
+    IndirectJumpWithoutTargets {
+        /// The jump.
+        at: Addr,
+    },
+    /// A call whose return point lies outside the code. Unreachable
+    /// through [`tpc_isa::ProgramBuilder::build`] (a trailing call is
+    /// rejected); kept as defence in depth for hand-built inputs.
+    CallWithoutReturnPoint {
+        /// The call.
+        at: Addr,
+    },
+}
+
+impl Lint {
+    /// The finding's severity.
+    pub fn level(&self) -> LintLevel {
+        match self {
+            Lint::UnreachableBlock { .. } => LintLevel::Warning,
+            Lint::BackwardBranchNotLatch { .. }
+            | Lint::IndirectJumpWithoutTargets { .. }
+            | Lint::CallWithoutReturnPoint { .. } => LintLevel::Error,
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::UnreachableBlock { start, len } => {
+                write!(
+                    f,
+                    "warning: unreachable block of {len} instructions at {start}"
+                )
+            }
+            Lint::BackwardBranchNotLatch { at, target } => write!(
+                f,
+                "error: backward branch at {at} targets {target} but is not a loop latch"
+            ),
+            Lint::IndirectJumpWithoutTargets { at } => {
+                write!(f, "error: indirect jump at {at} declares no targets")
+            }
+            Lint::CallWithoutReturnPoint { at } => {
+                write!(f, "error: call at {at} has no in-range return point")
+            }
+        }
+    }
+}
+
+/// Lints `program` over its `cfg`. Findings are in address order
+/// within each category; errors come first.
+pub fn lint(program: &Program, cfg: &Cfg) -> Vec<Lint> {
+    let mut errors = Vec::new();
+    let mut warnings = Vec::new();
+    let code_len = program.len() as u32;
+
+    for (addr, op) in program.iter() {
+        match op.class() {
+            OpClass::Branch if op.is_backward_branch(addr) => {
+                let target = op.static_target().expect("branches have static targets");
+                let latch = cfg.block_of(addr);
+                let header = cfg.block_of(target);
+                // Unreachable latches are covered by the unreachable
+                // warning; dominance is undefined there.
+                if cfg.is_reachable(latch) && !cfg.dominates(header, latch) {
+                    errors.push(Lint::BackwardBranchNotLatch { at: addr, target });
+                }
+            }
+            OpClass::IndirectJump if program.indirect_targets(addr).is_empty() => {
+                errors.push(Lint::IndirectJumpWithoutTargets { at: addr });
+            }
+            OpClass::Call if addr.word() + 1 >= code_len => {
+                errors.push(Lint::CallWithoutReturnPoint { at: addr });
+            }
+            _ => {}
+        }
+    }
+
+    for (i, block) in cfg.blocks().iter().enumerate() {
+        if !cfg.is_reachable(i) {
+            warnings.push(Lint::UnreachableBlock {
+                start: block.start,
+                len: block.len,
+            });
+        }
+    }
+
+    errors.extend(warnings);
+    errors
+}
+
+/// Whether any finding in `lints` is an error.
+pub fn has_errors(lints: &[Lint]) -> bool {
+    lints.iter().any(|l| l.level() == LintLevel::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_isa::model::OutcomeModel;
+    use tpc_isa::{BranchCond, Op, ProgramBuilder, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn branch_to(target: Addr) -> Op {
+        Op::Branch {
+            cond: BranchCond::Ne,
+            rs1: r(1),
+            rs2: r(2),
+            target,
+        }
+    }
+
+    fn lint_of(p: &Program) -> Vec<Lint> {
+        lint(p, &Cfg::build(p))
+    }
+
+    #[test]
+    fn clean_loop_has_no_findings() {
+        let mut b = ProgramBuilder::new();
+        let top = b.push(Op::Nop);
+        b.push_branch(branch_to(top), OutcomeModel::Loop { trip: 5 });
+        b.push(Op::Halt);
+        let p = b.build().unwrap();
+        assert!(lint_of(&p).is_empty());
+    }
+
+    #[test]
+    fn non_latch_backward_branch_is_an_error() {
+        // 0: jmp →2 ; 1: nop (side entry) ; 2: bne →1 ; 3: halt
+        // The backward branch targets 1, but 1 does not dominate the
+        // branch block (the branch is reached from 0 without passing
+        // through 1) — a "loop" the region heuristic misreads.
+        let mut b = ProgramBuilder::new();
+        b.push(Op::Jump {
+            target: Addr::new(2),
+        });
+        b.push(Op::Nop);
+        b.push_branch(branch_to(Addr::new(1)), OutcomeModel::Loop { trip: 5 });
+        b.push(Op::Halt);
+        let p = b.build().unwrap();
+        let lints = lint_of(&p);
+        assert!(
+            lints.iter().any(|l| matches!(
+                l,
+                Lint::BackwardBranchNotLatch {
+                    at,
+                    target
+                } if at.word() == 2 && target.word() == 1
+            )),
+            "{lints:?}"
+        );
+        assert!(has_errors(&lints));
+    }
+
+    #[test]
+    fn unreachable_block_is_a_warning() {
+        let mut b = ProgramBuilder::new();
+        b.push(Op::Jump {
+            target: Addr::new(2),
+        });
+        b.push(Op::Nop); // dead
+        b.push(Op::Halt);
+        let p = b.build().unwrap();
+        let lints = lint_of(&p);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].level(), LintLevel::Warning);
+        assert!(!has_errors(&lints));
+    }
+
+    #[test]
+    fn display_formats_severity() {
+        let l = Lint::BackwardBranchNotLatch {
+            at: Addr::new(2),
+            target: Addr::new(1),
+        };
+        assert!(l.to_string().starts_with("error:"));
+        let w = Lint::UnreachableBlock {
+            start: Addr::new(1),
+            len: 1,
+        };
+        assert!(w.to_string().starts_with("warning:"));
+    }
+}

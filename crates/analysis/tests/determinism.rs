@@ -1,0 +1,44 @@
+//! The analyzer's report must be byte-identical regardless of how
+//! many worker threads compute it — determinism is what lets the
+//! static-vs-dynamic numbers be diffed across machines and runs.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_analyze_program"))
+        .args(args)
+        .output()
+        .expect("analyze_program runs");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn report_is_byte_identical_across_job_counts() {
+    let base = ["compress", "li", "go", "--seed", "7", "--scale", "60"];
+    let (one, _, ok1) = run(&[&base[..], &["--jobs", "1"]].concat());
+    let (four, _, ok4) = run(&[&base[..], &["--jobs", "4"]].concat());
+    assert!(ok1 && ok4, "analyzer exits cleanly on generator output");
+    assert_eq!(one, four, "--jobs must not change a single byte");
+    assert!(one.contains("## compress"), "{one}");
+    assert!(one.contains("natural loops:"), "{one}");
+}
+
+#[test]
+fn generator_programs_lint_clean() {
+    // The linter must accept every generator program: exit success
+    // and no `error:` lines in the report.
+    let (out, _, ok) = run(&["--seed", "3", "--scale", "40", "--jobs", "2"]);
+    assert!(ok, "lint errors on generator output:\n{out}");
+    assert!(!out.contains("error:"), "{out}");
+}
+
+#[test]
+fn unknown_benchmark_is_rejected() {
+    let (_, err, ok) = run(&["not-a-benchmark"]);
+    assert!(!ok);
+    assert!(err.contains("unknown benchmark"), "{err}");
+}

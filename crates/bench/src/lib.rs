@@ -1,1 +1,3 @@
 //! Benchmark crate; see benches/.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -67,6 +67,11 @@ pub struct EngineConfig {
     /// I-cache lines the engine may fetch per idle cycle (the paper
     /// uses the single idle slow-path port: 1).
     pub fetch_width: u32,
+    /// Record every start-point push and constructed trace into an
+    /// activity log drained via [`PreconEngine::take_activity`]
+    /// (conformance checking against the static enumeration; off in
+    /// normal simulation).
+    pub record_activity: bool,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +91,7 @@ impl Default for EngineConfig {
             lattice_seed_loop_exits: false,
             track_built_keys: false,
             fetch_width: 1,
+            record_activity: false,
         }
     }
 }
@@ -127,6 +133,29 @@ pub struct EngineStats {
     pub start_points_observed: u64,
 }
 
+/// One observable engine action, recorded when
+/// [`EngineConfig::record_activity`] is set. The differential oracle
+/// drains these with [`PreconEngine::take_activity`] and checks each
+/// against the static enumeration computed by `tpc-analysis`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineActivity {
+    /// A region start point was offered to the start-point stack
+    /// (recorded whether or not deduplication accepted it).
+    StartPointPushed {
+        /// The region start address (instruction after the call or
+        /// backward branch that triggered it).
+        addr: Addr,
+        /// Why the start point was pushed.
+        reason: StartReason,
+        /// Dispatch sequence number of the triggering instruction.
+        seq: u64,
+    },
+    /// A constructor completed a trace (recorded before the
+    /// duplicate-suppression and buffer-fill steps, so dropped traces
+    /// are checked too).
+    TraceEmitted(Trace),
+}
+
 #[derive(Debug)]
 struct Region {
     id: u64,
@@ -156,6 +185,7 @@ pub struct PreconEngine {
     next_region_id: u64,
     stats: EngineStats,
     built_keys: HashSet<u64>,
+    activity: Vec<EngineActivity>,
 }
 
 impl PreconEngine {
@@ -176,6 +206,7 @@ impl PreconEngine {
             next_region_id: 1,
             stats: EngineStats::default(),
             built_keys: HashSet::new(),
+            activity: Vec::new(),
             config,
         }
     }
@@ -200,6 +231,12 @@ impl PreconEngine {
     /// counters) for diagnostics and invariant checking.
     pub fn start_stack(&self) -> &StartPointStack {
         &self.stack
+    }
+
+    /// Drains the activity log accumulated since the last call.
+    /// Always empty unless [`EngineConfig::record_activity`] is set.
+    pub fn take_activity(&mut self) -> Vec<EngineActivity> {
+        std::mem::take(&mut self.activity)
     }
 
     /// Checks the engine's structural invariants: the start stack
@@ -263,10 +300,24 @@ impl PreconEngine {
         match op.class() {
             OpClass::Call => {
                 self.stats.start_points_observed += 1;
+                if self.config.record_activity {
+                    self.activity.push(EngineActivity::StartPointPushed {
+                        addr: pc.next(),
+                        reason: StartReason::CallReturn,
+                        seq,
+                    });
+                }
                 self.stack.push(pc.next(), StartReason::CallReturn, seq);
             }
             OpClass::Branch if op.is_backward_branch(pc) => {
                 self.stats.start_points_observed += 1;
+                if self.config.record_activity {
+                    self.activity.push(EngineActivity::StartPointPushed {
+                        addr: pc.next(),
+                        reason: StartReason::LoopExit,
+                        seq,
+                    });
+                }
                 self.stack.push(pc.next(), StartReason::LoopExit, seq);
             }
             _ => {}
@@ -458,6 +509,10 @@ impl PreconEngine {
         store: &mut dyn TraceStore,
     ) {
         self.stats.traces_built += 1;
+        if self.config.record_activity {
+            self.activity
+                .push(EngineActivity::TraceEmitted(trace.clone()));
+        }
         debug_assert!(
             trace.validate_against(program).is_ok(),
             "constructed trace diverges from static code: {:?}",
@@ -577,7 +632,7 @@ impl PreconEngine {
                 };
                 let region = self.regions[slot].as_mut().expect("picked live");
                 let (_, ready) = region.pending.as_mut().expect("picked pending");
-                *ready += extra as u64;
+                *ready += extra;
                 true
             }
             EngineFault::StallConstructor { salt, cycles } => {

@@ -28,6 +28,9 @@
 //!   schedule may move performance counters but never the retirement
 //!   stream.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod constructor;
 pub mod engine;
 pub mod faults;
@@ -39,7 +42,7 @@ pub mod storage;
 pub mod trace;
 pub mod trace_cache;
 
-pub use engine::{EngineConfig, EngineStats, PreconEngine};
+pub use engine::{EngineActivity, EngineConfig, EngineStats, PreconEngine};
 pub use faults::{
     EngineFault, FaultEvent, FaultKind, FaultPlan, FaultState, FaultStats, FAULTS_ALL,
     NUM_FAULT_KINDS,

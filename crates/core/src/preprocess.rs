@@ -474,6 +474,123 @@ mod tests {
         assert!(op_latency(OpClass::IntDiv) > op_latency(OpClass::IntMul));
     }
 
+    /// Builds a trace ending in a conditional branch (taken back to
+    /// 0) followed by `ret`, so preprocessing sees real control flow.
+    fn mk_trace_with_branch(ops: &[Op], branch: Op) -> Trace {
+        let mut b = TraceBuilder::new(Addr::new(0));
+        for (i, &op) in ops.iter().enumerate() {
+            match b.push(Addr::new(i as u32), op, Resolution::None) {
+                PushResult::Continue(_) => {}
+                PushResult::Complete(t) => return t,
+            }
+        }
+        match b.push(
+            Addr::new(ops.len() as u32),
+            branch,
+            Resolution::Branch {
+                taken: true,
+                next_pc: Addr::new(0),
+            },
+        ) {
+            PushResult::Continue(_) => {}
+            PushResult::Complete(t) => return t,
+        }
+        match b.push(Addr::new(0), Op::Return, Resolution::None) {
+            PushResult::Complete(t) => t,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_sources_create_dependences() {
+        // A conditional branch consumes its comparison registers like
+        // any other instruction; its dependence on the last writer is
+        // what serializes resolution behind the compare.
+        let t = mk_trace_with_branch(
+            &[Op::Load {
+                rd: r(1),
+                base: r(9),
+                offset: 0,
+            }],
+            Op::Branch {
+                cond: tpc_isa::BranchCond::Ne,
+                rs1: r(1),
+                rs2: Reg::ZERO,
+                target: Addr::new(0),
+            },
+        );
+        let info = preprocess(&t);
+        assert_eq!(info.deps[1], vec![0]);
+    }
+
+    #[test]
+    fn control_ops_are_never_folded_or_collapsed() {
+        // Preprocessing rewrites dependence structure only: control
+        // instructions keep their identity (the CFG the analyzer
+        // builds from the static code must stay valid for the
+        // preprocessed trace), so branches and returns are neither
+        // constant-folded away nor fused onto the combined ALU.
+        let t = mk_trace_with_branch(
+            &[Op::LoadImm { rd: r(1), imm: 1 }],
+            Op::Branch {
+                cond: tpc_isa::BranchCond::Eq,
+                rs1: r(1),
+                rs2: r(1),
+                target: Addr::new(0),
+            },
+        );
+        let info = preprocess(&t);
+        assert!(t.instrs().iter().any(|ti| ti.op.class().is_control()));
+        for (i, ti) in t.instrs().iter().enumerate() {
+            if ti.op.class().is_control() {
+                assert!(!info.const_folded[i], "control op {i} folded");
+                assert_eq!(info.collapsed[i], None, "control op {i} collapsed");
+            }
+        }
+    }
+
+    #[test]
+    fn dependence_graph_is_a_dag_in_trace_order() {
+        // Every dependence and every collapse target points strictly
+        // backwards — the invariant that makes the trace's dependence
+        // graph acyclic and lets the analyzer treat trace order as a
+        // topological order.
+        let t = mk_trace(&[
+            Op::LoadImm { rd: r(1), imm: 7 },
+            Op::Load {
+                rd: r(2),
+                base: r(1),
+                offset: 0,
+            },
+            Op::AddImm {
+                rd: r(3),
+                rs1: r(2),
+                imm: 4,
+            },
+            Op::Add {
+                rd: r(4),
+                rs1: r(3),
+                rs2: r(2),
+            },
+            Op::Store {
+                src: r(4),
+                base: r(1),
+                offset: 8,
+            },
+        ]);
+        let info = preprocess(&t);
+        for (i, d) in info.deps.iter().enumerate() {
+            for &j in d {
+                assert!((j as usize) < i, "dep {j} of {i} not earlier");
+            }
+            if let Some(j) = info.collapsed[i] {
+                assert!((j as usize) < i, "collapse target {j} of {i} not earlier");
+            }
+        }
+        assert_eq!(info.len(), t.len());
+        assert!(!info.is_empty());
+    }
+
     #[test]
     fn call_return_address_is_a_constant() {
         let t = mk_trace(&[

@@ -414,7 +414,12 @@ pub enum Resolution {
     /// is static).
     None,
     /// A conditional branch's direction and successor.
-    Branch { taken: bool, next_pc: Addr },
+    Branch {
+        /// Whether the branch was taken.
+        taken: bool,
+        /// The address execution continues at.
+        next_pc: Addr,
+    },
     /// A dynamically-known target (return/indirect-jump successor on
     /// the fill path), or the restart address after `halt`.
     Target(Addr),

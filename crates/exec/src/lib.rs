@@ -29,6 +29,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod executor;
 
 pub use executor::{DynInstr, Executor};

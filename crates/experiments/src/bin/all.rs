@@ -5,8 +5,8 @@
 //! [--warmup N] [--measure N] [--seed N] [--quick]`
 
 use tpc_experiments::{
-    ablations, bias_sweep, cpi_stack, fig5, fig6, fig8, predictors, tables, workload_stats,
-    RunParams,
+    ablations, bias_sweep, coverage, cpi_stack, fig5, fig6, fig8, predictors, tables,
+    workload_stats, RunParams,
 };
 use tpc_workloads::Benchmark;
 
@@ -42,6 +42,10 @@ fn main() {
     print!("{}", ablations::render(Benchmark::Gcc, &rows));
     let rows = ablations::dynamic_split(Benchmark::Gcc, params);
     print!("{}", ablations::render_dynamic_split(Benchmark::Gcc, &rows));
+
+    println!("\n## Static vs dynamic coverage");
+    let rows = coverage::run(&Benchmark::ALL, params);
+    print!("{}", coverage::render(&rows));
 
     println!("\n## Supporting characterization");
     let rows = predictors::run(&Benchmark::ALL, params);

@@ -1,0 +1,56 @@
+//! Static-vs-dynamic coverage report, written to stdout (markdown)
+//! and `BENCH_analysis.json` (std-only JSON).
+//!
+//! Usage: `analysis_report [BENCH..] [--warmup N] [--measure N]
+//! [--seed N] [--jobs N] [--quick]`. Leading positional arguments
+//! select benchmarks (default: all eight); the flags match every
+//! other experiment binary. Output is byte-identical for any
+//! `--jobs` value.
+
+use tpc_experiments::{coverage, RunParams};
+use tpc_workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let split = args
+        .iter()
+        .position(|a| a.starts_with('-'))
+        .unwrap_or(args.len());
+    let (names, flags) = args.split_at(split);
+
+    let mut benchmarks = Vec::new();
+    for name in names {
+        match name.parse::<Benchmark>() {
+            Ok(b) => benchmarks.push(b),
+            Err(e) => {
+                eprintln!("analysis_report: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if benchmarks.is_empty() {
+        benchmarks.extend(Benchmark::ALL);
+    }
+
+    let params = RunParams::from_args(flags.iter().cloned()).unwrap_or_else(|e| {
+        eprintln!("analysis_report: {e}");
+        std::process::exit(2);
+    });
+
+    println!("# Static vs dynamic coverage\n");
+    // Deliberately omits --jobs: output must be byte-identical at any
+    // job count, and the header is part of the output.
+    println!(
+        "run parameters: warmup={} measure={} seed={}\n",
+        params.warmup, params.measure, params.seed
+    );
+    let rows = coverage::run(&benchmarks, params);
+    print!("{}", coverage::render(&rows));
+
+    let json = coverage::render_json(&rows, params);
+    std::fs::write("BENCH_analysis.json", &json).unwrap_or_else(|e| {
+        eprintln!("analysis_report: cannot write BENCH_analysis.json: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote BENCH_analysis.json");
+}

@@ -194,9 +194,11 @@ mod tests {
     }
 
     fn sample_stats(x: u64) -> SimStats {
-        let mut s = SimStats::default();
-        s.cycles = 1000 + x;
-        s.retired_instructions = 500 + x;
+        let mut s = SimStats {
+            cycles: 1000 + x,
+            retired_instructions: 500 + x,
+            ..SimStats::default()
+        };
         s.faults.landed_by_kind[3] = x;
         s
     }

@@ -16,10 +16,18 @@
 //! Absolute numbers differ from the paper (synthetic workloads, see
 //! `DESIGN.md` §2); the *shape* — who wins, directions, rough factors
 //! — is the reproduction target, recorded in `EXPERIMENTS.md`.
+//!
+//! The [`coverage`] module (binary `analysis_report`) sits alongside
+//! the paper artifacts: it compares the static analyzer's trace
+//! enumeration against the dynamic trace working set per benchmark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod ablations;
 pub mod bias_sweep;
 pub mod checkpoint;
+pub mod coverage;
 pub mod cpi_stack;
 pub mod degradation;
 pub mod fig5;

@@ -1,0 +1,61 @@
+//! The `analysis_report` binary must produce byte-identical output —
+//! stdout *and* `BENCH_analysis.json` — regardless of `--jobs`, and
+//! must reject unknown benchmark names.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs the binary in its own scratch directory (it writes
+/// `BENCH_analysis.json` to the cwd) and returns (stdout, json).
+fn run(tag: &str, args: &[&str]) -> (String, String) {
+    let dir =
+        std::env::temp_dir().join(format!("tpc-analysis-report-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_analysis_report"))
+        .args(args)
+        .current_dir(&dir)
+        .output()
+        .expect("run analysis_report");
+    assert!(
+        out.status.success(),
+        "analysis_report failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json_path: PathBuf = dir.join("BENCH_analysis.json");
+    let json = std::fs::read_to_string(&json_path).expect("read BENCH_analysis.json");
+    let _ = std::fs::remove_dir_all(&dir);
+    (String::from_utf8(out.stdout).expect("utf8 stdout"), json)
+}
+
+const WINDOW: &[&str] = &["--warmup", "3000", "--measure", "6000", "--seed", "5"];
+
+#[test]
+fn report_is_byte_identical_across_job_counts() {
+    let mut base = vec!["compress", "li"];
+    base.extend_from_slice(WINDOW);
+    let (out1, json1) = run("j1", &[&base[..], &["--jobs", "1"]].concat());
+    let (out4, json4) = run("j4", &[&base[..], &["--jobs", "4"]].concat());
+    assert_eq!(out1, out4, "stdout depends on --jobs");
+    assert_eq!(json1, json4, "BENCH_analysis.json depends on --jobs");
+}
+
+#[test]
+fn json_names_every_requested_benchmark() {
+    let mut args = vec!["go", "vortex"];
+    args.extend_from_slice(WINDOW);
+    args.extend_from_slice(&["--jobs", "2"]);
+    let (out, json) = run("names", &args);
+    assert!(out.contains("| go"));
+    assert!(json.contains("\"benchmark\": \"go\""));
+    assert!(json.contains("\"benchmark\": \"vortex\""));
+    assert!(json.contains("\"seed\": 5"));
+}
+
+#[test]
+fn unknown_benchmark_is_rejected() {
+    let out = Command::new(env!("CARGO_BIN_EXE_analysis_report"))
+        .arg("not-a-benchmark")
+        .output()
+        .expect("run analysis_report");
+    assert!(!out.status.success());
+}

@@ -24,9 +24,19 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EncodeError {
     /// An immediate exceeds its field width.
-    ImmOutOfRange { imm: i64, bits: u8 },
+    ImmOutOfRange {
+        /// The immediate value that does not fit.
+        imm: i64,
+        /// Width of the encoding field in bits.
+        bits: u8,
+    },
     /// A control target exceeds its field width.
-    TargetOutOfRange { target: Addr, bits: u8 },
+    TargetOutOfRange {
+        /// The target address that does not fit.
+        target: Addr,
+        /// Width of the encoding field in bits.
+        bits: u8,
+    },
 }
 
 impl fmt::Display for EncodeError {

@@ -22,6 +22,9 @@
 //! assert_eq!(format!("{op}"), "add r3, r1, r2");
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod addr;
 pub mod asm;
 pub mod encode;

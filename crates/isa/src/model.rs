@@ -90,13 +90,28 @@ pub enum OutcomeModel {
     /// A loop back-edge: taken `trip - 1` consecutive times, then
     /// not-taken once (loop exit), repeating. `trip` must be ≥ 1;
     /// `trip == 1` is a loop whose body runs once per entry.
-    Loop { trip: u32 },
+    Loop {
+        /// Iterations per loop entry.
+        trip: u32,
+    },
     /// Taken with fixed probability `num/denom`, outcomes drawn from
     /// a branch-private xorshift stream seeded with `seed`.
-    Biased { num: u32, denom: u32, seed: u64 },
+    Biased {
+        /// Numerator of the taken probability.
+        num: u32,
+        /// Denominator of the taken probability.
+        denom: u32,
+        /// Seed of the branch-private xorshift stream.
+        seed: u64,
+    },
     /// Repeating fixed pattern of `len` outcomes (LSB first) — models
     /// correlated branches.
-    Pattern { bits: u32, len: u8 },
+    Pattern {
+        /// The outcome bits, least-significant bit first.
+        bits: u32,
+        /// Number of pattern bits in use (1–32).
+        len: u8,
+    },
     /// Always taken.
     AlwaysTaken,
     /// Never taken.

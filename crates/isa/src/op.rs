@@ -102,46 +102,148 @@ impl OpClass {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// `rd = rs1 + rs2`
-    Add { rd: Reg, rs1: Reg, rs2: Reg },
+    Add {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
     /// `rd = rs1 - rs2`
-    Sub { rd: Reg, rs1: Reg, rs2: Reg },
+    Sub {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
     /// `rd = rs1 & rs2`
-    And { rd: Reg, rs1: Reg, rs2: Reg },
+    And {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
     /// `rd = rs1 | rs2`
-    Or { rd: Reg, rs1: Reg, rs2: Reg },
+    Or {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
     /// `rd = rs1 ^ rs2`
-    Xor { rd: Reg, rs1: Reg, rs2: Reg },
+    Xor {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
     /// `rd = rs1 << shamt`
-    Shl { rd: Reg, rs1: Reg, shamt: u8 },
+    Shl {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Shift amount in bits.
+        shamt: u8,
+    },
     /// `rd = rs1 >> shamt` (logical)
-    Shr { rd: Reg, rs1: Reg, shamt: u8 },
+    Shr {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Shift amount in bits.
+        shamt: u8,
+    },
     /// `rd = rs1 + imm`
-    AddImm { rd: Reg, rs1: Reg, imm: i32 },
+    AddImm {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Immediate operand.
+        imm: i32,
+    },
     /// `rd = imm`
-    LoadImm { rd: Reg, imm: i32 },
+    LoadImm {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate operand.
+        imm: i32,
+    },
     /// `rd = rs1 * rs2`
-    Mul { rd: Reg, rs1: Reg, rs2: Reg },
+    Mul {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
     /// `rd = rs1 / rs2` (0 when dividing by zero)
-    Div { rd: Reg, rs1: Reg, rs2: Reg },
+    Div {
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
     /// `rd = mem[rs1 + offset]`
-    Load { rd: Reg, base: Reg, offset: i32 },
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base-address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i32,
+    },
     /// `mem[rs1 + offset] = rs2`
-    Store { src: Reg, base: Reg, offset: i32 },
+    Store {
+        /// Register whose value is stored.
+        src: Reg,
+        /// Base-address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i32,
+    },
     /// Conditional PC-relative-style branch with an absolute target.
     Branch {
+        /// The comparison deciding the direction.
         cond: BranchCond,
+        /// Left comparison operand.
         rs1: Reg,
+        /// Right comparison operand.
         rs2: Reg,
+        /// Absolute word address taken branches jump to.
         target: Addr,
     },
     /// Unconditional direct jump.
-    Jump { target: Addr },
+    Jump {
+        /// Absolute word address jumped to.
+        target: Addr,
+    },
     /// Jump-and-link: `r31 = return address; pc = target`.
-    Call { target: Addr },
+    Call {
+        /// Entry point of the called function.
+        target: Addr,
+    },
     /// Jump through the link register (procedure return).
     Return,
     /// Jump through `rs1` (computed target, e.g. a switch table).
-    IndirectJump { rs1: Reg },
+    IndirectJump {
+        /// Register holding the computed target address.
+        rs1: Reg,
+    },
     /// Terminates execution.
     Halt,
     /// No-operation.
@@ -248,6 +350,25 @@ impl Op {
     /// `pc + 1`.
     pub fn is_control(&self) -> bool {
         self.class().is_control()
+    }
+
+    /// Whether execution can continue at `pc + 1` after this
+    /// instruction: true for every non-control op, for a conditional
+    /// branch (the not-taken arm), and for a call (the return point).
+    /// False for unconditional transfers (`jmp`, `ret`, `jr`) and
+    /// `halt`. CFG construction uses this to place fall-through edges
+    /// and block leaders.
+    pub fn can_fall_through(&self) -> bool {
+        !matches!(
+            self.class(),
+            OpClass::Jump | OpClass::Return | OpClass::IndirectJump | OpClass::Halt
+        )
+    }
+
+    /// Whether this instruction ends a basic block: every control
+    /// transfer does (its successors start new blocks).
+    pub fn is_block_terminator(&self) -> bool {
+        self.is_control()
     }
 }
 
@@ -423,6 +544,52 @@ mod tests {
         );
         assert_eq!(Op::Return.static_target(), None);
         assert_eq!(Op::IndirectJump { rs1: r(4) }.static_target(), None);
+    }
+
+    #[test]
+    fn fall_through_classification() {
+        let falls = [
+            Op::Nop,
+            Op::Add {
+                rd: r(1),
+                rs1: r(2),
+                rs2: r(3),
+            },
+            Op::Branch {
+                cond: BranchCond::Eq,
+                rs1: r(1),
+                rs2: r(2),
+                target: Addr::new(9),
+            },
+            Op::Call {
+                target: Addr::new(9),
+            },
+        ];
+        for op in falls {
+            assert!(op.can_fall_through(), "{op} falls through");
+        }
+        let stops = [
+            Op::Jump {
+                target: Addr::new(9),
+            },
+            Op::Return,
+            Op::IndirectJump { rs1: r(4) },
+            Op::Halt,
+        ];
+        for op in stops {
+            assert!(!op.can_fall_through(), "{op} never falls through");
+        }
+    }
+
+    #[test]
+    fn block_terminators_are_exactly_control_ops() {
+        assert!(Op::Return.is_block_terminator());
+        assert!(Op::Call {
+            target: Addr::new(1)
+        }
+        .is_block_terminator());
+        assert!(!Op::Nop.is_block_terminator());
+        assert!(!Op::LoadImm { rd: r(1), imm: 3 }.is_block_terminator());
     }
 
     #[test]

@@ -72,6 +72,15 @@ impl Program {
         self.indirect_models.get(&addr.word())
     }
 
+    /// The statically-declared target set of the indirect jump at
+    /// `addr` (empty for any other address). CFG construction treats
+    /// these as the jump's successor edges.
+    pub fn indirect_targets(&self, addr: Addr) -> &[Addr] {
+        self.indirect_models
+            .get(&addr.word())
+            .map_or(&[], |m| m.targets())
+    }
+
     /// Function table (may be empty for hand-built programs).
     pub fn functions(&self) -> &[FunctionInfo] {
         &self.functions
@@ -109,7 +118,12 @@ pub enum ProgramError {
     /// The entry point lies outside the code.
     EntryOutOfRange(Addr),
     /// A control instruction targets an address outside the code.
-    TargetOutOfRange { at: Addr, target: Addr },
+    TargetOutOfRange {
+        /// Address of the offending instruction.
+        at: Addr,
+        /// The out-of-range target.
+        target: Addr,
+    },
     /// A conditional branch has no outcome model attached.
     MissingBranchModel(Addr),
     /// An indirect jump has no target model attached.
@@ -309,14 +323,11 @@ impl ProgramBuilder {
                 }
             }
         }
-        // The last instruction must not be able to fall through.
+        // The last instruction must not be able to fall through (a
+        // trailing branch falls off on its not-taken arm; a trailing
+        // call has no return point to come back to).
         let last = self.code.last().expect("non-empty");
-        let falls = match last {
-            Op::Halt | Op::Jump { .. } | Op::Return | Op::IndirectJump { .. } => false,
-            Op::Branch { .. } => true, // not-taken falls off the end
-            _ => true,
-        };
-        if falls {
+        if last.can_fall_through() {
             return Err(ProgramError::FallsOffEnd);
         }
         Ok(Program {
@@ -466,6 +477,74 @@ mod tests {
         let listing = p.to_string();
         assert_eq!(listing.lines().count(), 2);
         assert!(listing.contains("halt"));
+    }
+
+    #[test]
+    fn trailing_call_rejected() {
+        // A call's return point is the next address; a call as the
+        // last instruction would return past the end of the code, so
+        // every call in a valid program has an in-range return point.
+        let mut b = ProgramBuilder::new();
+        b.push(Op::Call {
+            target: Addr::new(0),
+        });
+        assert_eq!(b.build().unwrap_err(), ProgramError::FallsOffEnd);
+    }
+
+    #[test]
+    fn every_call_pairs_with_an_in_range_return_point() {
+        let mut b = ProgramBuilder::new();
+        let call_at = b.push(Op::Call {
+            target: Addr::new(3),
+        });
+        b.push(Op::Nop); // the return point
+        b.push(Op::Halt);
+        b.push(Op::Return); // callee at 3
+        let p = b.build().unwrap();
+        let op = p.fetch(call_at).unwrap();
+        assert_eq!(op.static_target(), Some(Addr::new(3)));
+        assert!(op.can_fall_through(), "return point is call_at + 1");
+        assert!(p.fetch(call_at.next()).is_some());
+    }
+
+    #[test]
+    fn branch_targets_decode_exactly() {
+        // Leader computation reads branch targets through
+        // `static_target`; pin that build() preserves them verbatim
+        // for both the backward (loop) and forward (diamond) shapes.
+        let mut b = ProgramBuilder::new();
+        let top = b.push(Op::Nop);
+        b.push_branch(branch_to(top), OutcomeModel::Loop { trip: 4 });
+        let fwd_at = b.push_branch(branch_to(Addr::new(4)), OutcomeModel::AlwaysTaken);
+        b.push(Op::Nop);
+        b.push(Op::Halt);
+        let p = b.build().unwrap();
+        assert_eq!(
+            p.fetch(Addr::new(1)).unwrap().static_target(),
+            Some(top),
+            "backward branch target survives build"
+        );
+        assert!(p
+            .fetch(Addr::new(1))
+            .unwrap()
+            .is_backward_branch(Addr::new(1)));
+        assert_eq!(p.fetch(fwd_at).unwrap().static_target(), Some(Addr::new(4)));
+        assert!(!p.fetch(fwd_at).unwrap().is_backward_branch(fwd_at));
+    }
+
+    #[test]
+    fn indirect_targets_accessor_mirrors_the_model() {
+        let mut b = ProgramBuilder::new();
+        let arms = vec![Addr::new(1), Addr::new(2)];
+        let jr_at = b.push_indirect(
+            Op::IndirectJump { rs1: r(4) },
+            IndirectModel::uniform(arms.clone(), 7),
+        );
+        b.push(Op::Halt); // arm 1
+        b.push(Op::Halt); // arm 2
+        let p = b.build().unwrap();
+        assert_eq!(p.indirect_targets(jr_at), &arms[..]);
+        assert!(p.indirect_targets(Addr::new(1)).is_empty());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   (Section 3.3.1): they fill up and are never replaced; a full
 //!   cache terminates its region.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod dcache;
 pub mod icache;

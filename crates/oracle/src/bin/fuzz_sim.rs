@@ -181,7 +181,7 @@ fn main() {
             report_divergence(first, &args, checked);
         }
         checked += n;
-        if checked % (batch * 8) == 0 || checked >= args.iters {
+        if checked.is_multiple_of(batch * 8) || checked >= args.iters {
             println!(
                 "fuzz_sim: {checked} programs clean ({} configs each, {} instrs{}) in {:.1}s",
                 tpc_oracle::standard_configs().len(),

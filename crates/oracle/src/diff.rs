@@ -12,8 +12,21 @@
 //! buffer occupancy ≤ capacity, start-stack depth ≤ 16+4) and
 //! verifies that every retired instruction exists verbatim in the
 //! static code at its claimed address.
+//!
+//! Two static-analysis gates bracket every run. Before simulating,
+//! the program is linted ([`tpc_analysis::lint`]) and rejected on
+//! structural errors — a malformed fuzzer input would make any
+//! divergence report meaningless. During simulation, the engine's
+//! activity log is drained each chunk and checked against the
+//! program's [`StaticEnumeration`]: every start point the dispatch
+//! stage pushes must name a real call-return or loop-exit construct,
+//! and every trace a constructor emits must be statically
+//! constructible from its start. These conformance checks run in both
+//! the fault-free and fault-injected suites (faults drop or delay
+//! preconstruction work but never fabricate it).
 
 use crate::interp::Oracle;
+use tpc_analysis::StaticEnumeration;
 use tpc_core::FaultPlan;
 use tpc_isa::Program;
 use tpc_processor::{SimConfig, SimStats, Simulator};
@@ -100,10 +113,12 @@ pub fn run_differential(
     configs: &[NamedConfig],
     instructions: u64,
 ) -> Result<DiffReport, Divergence> {
+    lint_gate(program)?;
     check_executor(program, instructions)?;
 
+    let enumeration = StaticEnumeration::build(program);
     for nc in configs {
-        check_config(program, nc, instructions)?;
+        check_config(program, nc, instructions, &enumeration)?;
     }
 
     Ok(DiffReport {
@@ -147,16 +162,41 @@ pub fn run_differential_faulted(
         instructions,
         ..FaultedDiffReport::default()
     };
+    lint_gate(program)?;
+    let enumeration = StaticEnumeration::build(program);
     for nc in configs {
         let faulted = NamedConfig {
             name: nc.name,
             config: nc.config.clone().with_faults(plan),
         };
-        let stats = check_config(program, &faulted, instructions)?;
+        let stats = check_config(program, &faulted, instructions, &enumeration)?;
         report.faults_injected += stats.faults.injected;
         report.faults_landed += stats.faults.landed;
     }
     Ok(report)
+}
+
+/// Rejects structurally malformed programs before simulation: lint
+/// *errors* (a backward branch that is not a loop latch, an indirect
+/// jump without targets) make any downstream divergence report
+/// meaningless, so they are divergences in their own right.
+fn lint_gate(program: &Program) -> Result<(), Divergence> {
+    let cfg = tpc_analysis::Cfg::build(program);
+    let lints = tpc_analysis::lint(program, &cfg);
+    if tpc_analysis::has_errors(&lints) {
+        let detail = lints
+            .iter()
+            .filter(|l| l.level() == tpc_analysis::LintLevel::Error)
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        return Err(Divergence {
+            config: "lint",
+            index: 0,
+            detail,
+        });
+    }
+    Ok(())
 }
 
 /// Step-by-step comparison of the production [`tpc_exec::Executor`]
@@ -191,9 +231,11 @@ fn check_config(
     program: &Program,
     nc: &NamedConfig,
     instructions: u64,
+    enumeration: &StaticEnumeration,
 ) -> Result<SimStats, Divergence> {
     let mut config = nc.config.clone();
     config.record_retirement = true;
+    config.engine.record_activity = true;
     let mut sim = Simulator::new(program, config);
     let mut oracle = Oracle::new(program);
     let mut compared: u64 = 0;
@@ -238,6 +280,17 @@ fn check_config(
                 });
             }
             compared += 1;
+        }
+        // Conformance: every start point pushed and every trace
+        // emitted this chunk must be in the static enumeration.
+        for activity in sim.take_engine_activity() {
+            if let Err(e) = enumeration.check_activity(&activity) {
+                return Err(Divergence {
+                    config: nc.name,
+                    index: compared,
+                    detail: format!("engine conformance violated: {e}"),
+                });
+            }
         }
         if let Err(e) = sim.check_invariants() {
             return Err(Divergence {

@@ -17,6 +17,9 @@
 //! long runs use the `fuzz_sim` binary (`--budget-ms` for wall-clock
 //! budgets, `--iters` for a fixed count).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod diff;
 pub mod fuzzgen;
 pub mod interp;

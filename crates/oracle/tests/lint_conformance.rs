@@ -1,0 +1,59 @@
+//! Regression: the linter must accept every program our generators
+//! emit, and the engine-conformance checker must hold over fuzzed
+//! programs (it runs inside every differential check).
+//!
+//! Both generators emit backward branches only as loop latches
+//! (branch targets are loop tops, which dominate their bodies); these
+//! tests pin that property so a future generator change that breaks
+//! it fails here rather than as a confusing lint divergence inside
+//! the fuzzer.
+
+use tpc_analysis::{has_errors, lint, Cfg, LintLevel};
+use tpc_oracle::{generate, Scenario, FEAT_ALL};
+use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+#[test]
+fn every_workload_benchmark_lints_clean() {
+    for benchmark in Benchmark::ALL {
+        for seed in [1u64, 7, 42] {
+            let program = WorkloadBuilder::new(benchmark)
+                .seed(seed)
+                .scale_permille(60)
+                .build();
+            let cfg = Cfg::build(&program);
+            let lints = lint(&program, &cfg);
+            assert!(
+                !has_errors(&lints),
+                "{} seed {seed}: {lints:?}",
+                benchmark.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_fuzz_scenario_lints_clean() {
+    for seed in 0..40u64 {
+        let scenario = Scenario {
+            seed,
+            size: 150 + (seed as u32) * 13 % 300,
+            features: FEAT_ALL,
+        };
+        let program = generate(&scenario);
+        let cfg = Cfg::build(&program);
+        let lints = lint(&program, &cfg);
+        assert!(!has_errors(&lints), "seed {seed}: {lints:?}");
+    }
+}
+
+#[test]
+fn generator_unreachable_helpers_are_warnings_not_errors() {
+    // Helpers that nothing calls are legitimate generator output;
+    // they must never be escalated to errors (the differential lint
+    // gate would then reject every generated program).
+    let program = WorkloadBuilder::new(Benchmark::Li).seed(3).build();
+    let cfg = Cfg::build(&program);
+    for l in lint(&program, &cfg) {
+        assert_eq!(l.level(), LintLevel::Warning, "{l}");
+    }
+}

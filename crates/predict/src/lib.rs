@@ -16,6 +16,9 @@
 //!   confidence counters arbitrating between them, and a return
 //!   history stack that saves path history across calls/returns.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod bimodal;
 pub mod ntp;
 pub mod ras;

@@ -25,6 +25,9 @@
 //! assert!(stats.ipc() > 0.5);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod backend;
 pub mod simulator;
 pub mod stream;

@@ -712,6 +712,15 @@ impl<'a> Simulator<'a> {
         &self.engine
     }
 
+    /// Drains the engine's activity log (empty unless
+    /// [`tpc_core::EngineConfig::record_activity`] is set). The
+    /// conformance checker calls this between chunks and validates
+    /// every start-point push and emitted trace against the static
+    /// enumeration.
+    pub fn take_engine_activity(&mut self) -> Vec<tpc_core::EngineActivity> {
+        self.engine.take_activity()
+    }
+
     /// Read access to the trace storage (split or unified).
     pub fn store(&self) -> &dyn TraceStore {
         &*self.store

@@ -1,0 +1,132 @@
+//! Static branch-bias classification.
+//!
+//! The preconstruction constructor consults a *dynamic* bimodal
+//! predictor when it decides whether to follow or fork a conditional
+//! branch; the workload generator, however, attaches an
+//! [`OutcomeModel`] to every branch, which makes the long-run
+//! direction of each branch a *static* property of the program. This
+//! module exports that property in the form `tpc-analysis` consumes:
+//! a per-branch [`StaticBias`] derived from the model's taken
+//! probability, using the same ≥90 % / ≤10 % thresholds as
+//! [`OutcomeModel::is_strongly_biased`].
+
+use tpc_isa::model::OutcomeModel;
+use tpc_isa::{Addr, OpClass, Program};
+
+/// Static classification of a conditional branch's long-run
+/// direction, mirroring the three-way decision the constructor makes
+/// against its bimodal counters (follow taken, follow not-taken, or
+/// fork both arms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StaticBias {
+    /// Taken ≥ 90 % of the time: the constructor follows the taken
+    /// arm.
+    StronglyTaken,
+    /// Taken ≤ 10 % of the time: the constructor follows the
+    /// fall-through arm.
+    StronglyNotTaken,
+    /// Anything in between: the constructor forks both arms.
+    Weak,
+}
+
+/// Classifies one outcome model by its long-run taken probability.
+pub fn classify(model: &OutcomeModel) -> StaticBias {
+    let permille = model.taken_permille();
+    if permille >= 900 {
+        StaticBias::StronglyTaken
+    } else if permille <= 100 {
+        StaticBias::StronglyNotTaken
+    } else {
+        StaticBias::Weak
+    }
+}
+
+/// The static bias of every conditional branch in `program`, in
+/// address order. Branches without a model (possible only in
+/// hand-built programs that bypass validation paths) are classified
+/// [`StaticBias::Weak`] — the sound over-approximation, since a
+/// forked enumeration covers both arms.
+pub fn program_bias(program: &Program) -> Vec<(Addr, StaticBias)> {
+    program
+        .iter()
+        .filter(|(_, op)| op.class() == OpClass::Branch)
+        .map(|(addr, _)| {
+            let bias = program
+                .branch_model(addr)
+                .map_or(StaticBias::Weak, classify);
+            (addr, bias)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, WorkloadBuilder};
+
+    #[test]
+    fn classify_matches_is_strongly_biased() {
+        let models = [
+            OutcomeModel::AlwaysTaken,
+            OutcomeModel::NeverTaken,
+            OutcomeModel::Loop { trip: 20 },
+            OutcomeModel::Biased {
+                num: 39,
+                denom: 40,
+                seed: 1,
+            },
+            OutcomeModel::Biased {
+                num: 1,
+                denom: 2,
+                seed: 1,
+            },
+            OutcomeModel::Pattern {
+                bits: 0b1010,
+                len: 4,
+            },
+        ];
+        for m in models {
+            let strong = !matches!(classify(&m), StaticBias::Weak);
+            assert_eq!(strong, m.is_strongly_biased(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn directions_follow_the_probability() {
+        assert_eq!(
+            classify(&OutcomeModel::AlwaysTaken),
+            StaticBias::StronglyTaken
+        );
+        assert_eq!(
+            classify(&OutcomeModel::NeverTaken),
+            StaticBias::StronglyNotTaken
+        );
+        assert_eq!(
+            classify(&OutcomeModel::Biased {
+                num: 1,
+                denom: 40,
+                seed: 0
+            }),
+            StaticBias::StronglyNotTaken
+        );
+        assert_eq!(
+            classify(&OutcomeModel::Biased {
+                num: 13,
+                denom: 20,
+                seed: 0
+            }),
+            StaticBias::Weak
+        );
+    }
+
+    #[test]
+    fn program_bias_covers_every_branch_in_order() {
+        let p = WorkloadBuilder::new(Benchmark::Li).seed(3).build();
+        let biases = program_bias(&p);
+        assert_eq!(biases.len(), p.branch_count());
+        assert!(biases.windows(2).all(|w| w[0].0 < w[1].0), "address order");
+        // Loop latches are strongly taken by construction; the
+        // generated program must contain some.
+        assert!(biases.iter().any(|(_, b)| *b == StaticBias::StronglyTaken));
+    }
+}

@@ -22,9 +22,14 @@
 //! assert!(program.len() > 10_000); // gcc's large static footprint
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bias;
 mod gen;
 mod profile;
 pub mod stats;
 
+pub use bias::{classify, program_bias, StaticBias};
 pub use gen::WorkloadBuilder;
 pub use profile::{Benchmark, ParseBenchmarkError, Profile};

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Repo verification gate: tier-1 build+test, formatting, and the
-# quick throughput benchmark. Everything runs offline.
+# Repo verification gate: tier-1 build+test, lints, formatting, the
+# static-analysis conformance fuzz, and the quick benchmarks.
+# Everything runs offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,22 +11,29 @@ cargo build --release --offline
 echo "== tier-1: cargo test -q =="
 cargo test -q --offline
 
+echo "== cargo clippy --workspace -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== differential oracle smoke suite =="
-cargo test -q --offline -p tpc-oracle
+echo "== workspace test suite (analyzer, oracle, experiments) =="
+cargo test -q --offline --workspace
 
 echo "== differential fuzz, 10s budget, fixed seed =="
+# Every differential run lints the program and checks engine
+# conformance against the static enumeration (see tpc-oracle::diff).
 cargo run -p tpc-oracle --release --offline --bin fuzz_sim -- \
   --seed 1 --iters 1000000 --budget-ms 10000 --size 400 --instrs 2500
 
-echo "== fault-injection differential smoke: 120 seeded fault plans =="
+echo "== conformance + fault-injection differential: 500 seeded programs =="
 # Every scenario runs fault-free AND under a seeded all-kinds fault
 # plan (40 per mille per kind per cycle); retirement must match the
-# golden model either way — preconstruction is hint hardware.
+# golden model either way — preconstruction is hint hardware — and
+# every start point pushed / trace constructed must be statically
+# enumerable in both modes.
 cargo run -p tpc-oracle --release --offline --bin fuzz_sim -- \
-  --seed 42 --iters 120 --size 300 --instrs 2000 --faults 40
+  --seed 42 --iters 500 --size 300 --instrs 2000 --faults 40
 
 echo "== checkpoint/resume round-trip: interrupted sweep, identical output =="
 ckpt="$(mktemp -d)/degradation.ckpt"
@@ -43,6 +51,17 @@ head -n 6 "$ckpt" > "$ckpt.cut" && mv "$ckpt.cut" "$ckpt"
 run_degradation --checkpoint "$ckpt" > /tmp/degradation.resumed.md
 diff /tmp/degradation.reference.md /tmp/degradation.resumed.md
 rm -rf "$(dirname "$ckpt")" /tmp/degradation.{reference,full,resumed}.md
+
+echo "== static-vs-dynamic coverage report (BENCH_analysis.json) =="
+# Byte-identical at any job count, stdout and JSON alike.
+cargo run -p tpc-experiments --release --offline --bin analysis_report -- \
+  --quick --jobs 1 > /tmp/analysis.j1.md
+cp BENCH_analysis.json /tmp/analysis.j1.json
+cargo run -p tpc-experiments --release --offline --bin analysis_report -- \
+  --quick --jobs 4 > /tmp/analysis.j4.md
+diff /tmp/analysis.j1.md /tmp/analysis.j4.md
+diff /tmp/analysis.j1.json BENCH_analysis.json
+rm /tmp/analysis.j1.md /tmp/analysis.j4.md /tmp/analysis.j1.json
 
 echo "== bench_throughput --quick =="
 cargo run -p tpc-experiments --release --offline --bin bench_throughput -- --quick

@@ -19,6 +19,8 @@
 //! * [`processor`] — the cycle-level trace-processor timing model.
 //! * [`experiments`] — reproductions of every table and figure in the
 //!   paper's evaluation.
+//! * [`analysis`] — whole-program static analysis: basic-block CFG,
+//!   region/trace ground truth, and the workload linter.
 //! * [`oracle`] — golden-model reference interpreter, differential
 //!   runner, and structure-aware simulator fuzzer.
 //!
@@ -34,6 +36,10 @@
 //! assert!(stats.retired_instructions >= 50_000);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tpc_analysis as analysis;
 pub use tpc_core as core;
 pub use tpc_exec as exec;
 pub use tpc_experiments as experiments;
