@@ -18,7 +18,9 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
-use tpc_experiments::{par_map, run_cells_timed, simulate, RunParams, SweepCell};
+use tpc_experiments::{
+    available_cores, exact_jobs, par_map, run_cells_timed_jobs, simulate, RunParams, SweepCell,
+};
 use tpc_processor::SimConfig;
 use tpc_workloads::{Benchmark, WorkloadBuilder};
 
@@ -98,10 +100,14 @@ fn main() {
                 .map(|c| SweepCell::new(Arc::clone(p), c.clone()))
         })
         .collect();
+    // `exact_jobs` bypasses the default core clamp: oversubscription
+    // is part of what this benchmark measures, so the jobs=4 run uses
+    // four workers even on a smaller box (and reports it honestly
+    // below).
     let run_grid = |jobs: u64| {
         let p = RunParams { jobs, ..params };
         let t = Instant::now();
-        let timed = run_cells_timed(&sweep_cells, p);
+        let timed = run_cells_timed_jobs(&sweep_cells, p, exact_jobs(jobs));
         let wall = t.elapsed().as_secs_f64();
         let (stats, cell_ms): (Vec<_>, Vec<f64>) = timed.into_iter().unzip();
         (wall, stats, cell_ms)
@@ -109,25 +115,36 @@ fn main() {
     let (serial_secs, serial_stats, serial_cell_ms) = run_grid(1);
     let (parallel_secs, parallel_stats, parallel_cell_ms) = run_grid(4);
     let identical = serial_stats == parallel_stats;
-    let speedup = serial_secs / parallel_secs.max(1e-9);
+    let speedup_wall = serial_secs / parallel_secs.max(1e-9);
     let cells = sweep_cells.len();
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = available_cores();
     // With more workers than cores, threads time-slice one another:
     // total CPU work rises (scheduling overhead) while the critical
     // path cannot shrink, so speedup ≤ 1 is the *expected* result,
     // not a sweep-executor defect. The flag and the per-cell times
     // make that diagnosis from the JSON alone.
     let oversubscribed = 4 > cores;
+    // Wall-clock speedup flatters an oversubscribed box (scheduler
+    // noise in the jobs=1 run can make 1.05x out of nothing). The
+    // honest figure divides the *useful work* — the sum of per-cell
+    // busy ms measured on a serial run — by the parallel wall time:
+    // it reaches ~N on N idle cores and stays ~1 when there is only
+    // one core to share, whatever the thread count.
+    let busy_ms_jobs1: f64 = serial_cell_ms.iter().sum();
+    let busy_ms_jobs4: f64 = parallel_cell_ms.iter().sum();
+    let speedup_busy = busy_ms_jobs1 / (parallel_secs * 1e3).max(1e-9);
     println!(
-        "sweep {cells} cells: jobs=1 {:.1} ms, jobs=4 {:.1} ms, speedup {:.2}x, identical: {identical}",
+        "sweep {cells} cells: jobs=1 {:.1} ms, jobs=4 {:.1} ms, wall speedup {:.2}x, \
+         busy-based speedup {:.2}x, identical: {identical}",
         serial_secs * 1e3,
         parallel_secs * 1e3,
-        speedup
+        speedup_wall,
+        speedup_busy,
     );
     println!(
         "  per-cell busy ms: jobs=1 sum {:.1}, jobs=4 sum {:.1} ({} cores{})",
-        serial_cell_ms.iter().sum::<f64>(),
-        parallel_cell_ms.iter().sum::<f64>(),
+        busy_ms_jobs1,
+        busy_ms_jobs4,
         cores,
         if oversubscribed {
             "; oversubscribed — speedup <= 1 expected"
@@ -143,8 +160,9 @@ fn main() {
     let cell_list = |ms: &[f64]| ms.iter().map(|&m| json_f(m)).collect::<Vec<_>>().join(", ");
     let json = format!(
         "{{\n  \"warmup\": {},\n  \"measure\": {},\n  \"seed\": {},\n  \"cores\": {cores},\n  \
-         \"configs\": [\n{}\n  ],\n  \"sweep\": {{\"cells\": {cells}, \
-         \"jobs1_wall_ms\": {}, \"jobs4_wall_ms\": {}, \"speedup\": {}, \
+         \"configs\": [\n{}\n  ],\n  \"sweep\": {{\"cells\": {cells}, \"cores\": {cores}, \
+         \"jobs1_wall_ms\": {}, \"jobs4_wall_ms\": {}, \"speedup_wall\": {}, \
+         \"busy_ms_jobs1\": {}, \"busy_ms_jobs4\": {}, \"speedup_busy\": {}, \
          \"identical\": {identical}, \"oversubscribed\": {oversubscribed},\n    \
          \"cell_ms_jobs1\": [{}],\n    \"cell_ms_jobs4\": [{}]}}\n}}\n",
         params.warmup,
@@ -153,7 +171,10 @@ fn main() {
         config_entries.join(",\n"),
         json_f(serial_secs * 1e3),
         json_f(parallel_secs * 1e3),
-        json_f(speedup),
+        json_f(speedup_wall),
+        json_f(busy_ms_jobs1),
+        json_f(busy_ms_jobs4),
+        json_f(speedup_busy),
         cell_list(&serial_cell_ms),
         cell_list(&parallel_cell_ms),
     );

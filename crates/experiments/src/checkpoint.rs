@@ -27,24 +27,41 @@
 use crate::par_sweep::SweepCell;
 use crate::runner::RunParams;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Write};
 use std::path::Path;
 use std::sync::Mutex;
 use tpc_processor::SimStats;
 
-/// 64-bit FNV-1a.
-struct Fnv(u64);
+/// Streaming 64-bit FNV-1a hasher — the repo's one content hash,
+/// shared by sweep fingerprints, the `tpc-service` per-cell result
+/// cache keys, and result digests. Stable across runs and platforms
+/// (it is a pure byte fold, no randomized state).
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
 
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
+impl Fnv64 {
+    /// A hasher at the standard FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    /// Folds `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
     }
 }
 
@@ -56,7 +73,7 @@ impl Fnv {
 /// `jobs` is deliberately excluded — thread count never changes
 /// results, so a sweep may be resumed with a different `--jobs`.
 pub fn sweep_fingerprint(params: &RunParams, cells: &[SweepCell]) -> u64 {
-    let mut h = Fnv::new();
+    let mut h = Fnv64::new();
     h.write(&params.warmup.to_le_bytes());
     h.write(&params.measure.to_le_bytes());
     h.write(&params.seed.to_le_bytes());
@@ -64,7 +81,7 @@ pub fn sweep_fingerprint(params: &RunParams, cells: &[SweepCell]) -> u64 {
     for cell in cells {
         h.write(format!("{:?}", cell.config).as_bytes());
     }
-    h.0
+    h.finish()
 }
 
 /// An open checkpoint file accepting streaming appends from sweep
@@ -91,10 +108,16 @@ impl SweepCheckpoint {
         cell_count: usize,
     ) -> io::Result<(SweepCheckpoint, Vec<Option<SimStats>>)> {
         let mut prior: Vec<Option<SimStats>> = vec![None; cell_count];
+        let mut torn_tail = false;
         if path.exists() {
-            let mut lines = BufReader::new(File::open(path)?).lines();
-            if let Some(header) = lines.next().transpose()? {
-                let (fp, cells) = parse_header(&header)
+            // Checkpoint files are small (one short line per cell),
+            // so read them whole: this also tells us whether the file
+            // ends mid-line — a writer killed between `write_all` and
+            // completing the line — which streaming `lines()` hides.
+            let contents = String::from_utf8_lossy(&std::fs::read(path)?).into_owned();
+            let mut lines = contents.lines();
+            if let Some(header) = lines.next() {
+                let (fp, cells) = parse_header(header)
                     .ok_or_else(|| invalid(format!("malformed checkpoint header: {header:?}")))?;
                 if fp != fingerprint || cells != cell_count {
                     return Err(invalid(format!(
@@ -105,14 +128,17 @@ impl SweepCheckpoint {
                     )));
                 }
                 for line in lines {
-                    // A torn trailing line (killed writer) fails to
-                    // parse; skip it and let that cell re-run.
-                    if let Some((i, stats)) = parse_cell(&line?) {
+                    // A torn line (killed writer) fails to parse;
+                    // skip it and let that cell re-run. Duplicate
+                    // records for one cell are last-wins: a later
+                    // line overwrites the earlier entry.
+                    if let Some((i, stats)) = parse_cell(line) {
                         if i < cell_count {
                             prior[i] = Some(stats);
                         }
                     }
                 }
+                torn_tail = !contents.ends_with('\n');
             }
         }
         let mut file = OpenOptions::new().create(true).append(true).open(path)?;
@@ -121,6 +147,12 @@ impl SweepCheckpoint {
                 file,
                 "{{\"fingerprint\":{fingerprint},\"cells\":{cell_count}}}"
             )?;
+            file.flush()?;
+        } else if torn_tail {
+            // Terminate the torn tail so the next record starts on a
+            // fresh line instead of being glued onto the fragment
+            // (which would corrupt *both* records).
+            file.write_all(b"\n")?;
             file.flush()?;
         }
         Ok((
@@ -133,16 +165,52 @@ impl SweepCheckpoint {
 
     /// Appends one completed cell. Each line is a single `write_all`,
     /// so concurrent workers' lines never interleave.
+    ///
+    /// A failed write may leave a torn partial line (e.g. a full
+    /// disk); the tail is then best-effort newline-terminated so a
+    /// *subsequent* successful record is not glued onto the fragment
+    /// and lost with it.
     pub fn record(&self, cell: usize, stats: &SimStats) -> io::Result<()> {
-        let words: Vec<String> = stats.to_words().iter().map(u64::to_string).collect();
-        let line = format!("{{\"cell\":{cell},\"words\":[{}]}}\n", words.join(","));
+        let line = encode_keyed_words("cell", cell as u64, stats);
         let mut file = self
             .file
             .lock()
             .map_err(|_| io::Error::other("checkpoint mutex poisoned"))?;
-        file.write_all(line.as_bytes())?;
+        if let Err(e) = file.write_all(line.as_bytes()) {
+            let _ = file.write_all(b"\n");
+            let _ = file.flush();
+            return Err(e);
+        }
         file.flush()
     }
+}
+
+/// Encodes a `{"<key>":<id>,"words":[...]}` JSONL record carrying the
+/// [`SimStats::to_words`] integer codec, newline-terminated — the
+/// line format shared by sweep checkpoints (`key = "cell"`, id =
+/// cell index) and the `tpc-service` result cache (`key = "fp"`, id =
+/// cell fingerprint).
+pub fn encode_keyed_words(key: &str, id: u64, stats: &SimStats) -> String {
+    let words: Vec<String> = stats.to_words().iter().map(u64::to_string).collect();
+    format!("{{\"{key}\":{id},\"words\":[{}]}}\n", words.join(","))
+}
+
+/// Parses a line produced by [`encode_keyed_words`]. Returns `None`
+/// for torn or corrupt lines: a missing closing brace (killed
+/// writer), a truncated or over-long words array, or non-numeric
+/// fields — the caller skips such lines and the cell re-runs.
+pub fn parse_keyed_words(line: &str, key: &str) -> Option<(u64, SimStats)> {
+    if !line.ends_with('}') {
+        return None; // torn write
+    }
+    let id = field_u64(line, &format!("\"{key}\":"))?;
+    let open = line.find("\"words\":[")? + "\"words\":[".len();
+    let close = line[open..].find(']')? + open;
+    let words: Option<Vec<u64>> = line[open..close]
+        .split(',')
+        .map(|w| w.trim().parse().ok())
+        .collect();
+    Some((id, SimStats::from_words(&words?)?))
 }
 
 fn invalid(message: String) -> io::Error {
@@ -167,17 +235,7 @@ fn parse_header(line: &str) -> Option<(u64, usize)> {
 }
 
 fn parse_cell(line: &str) -> Option<(usize, SimStats)> {
-    if !line.ends_with('}') {
-        return None; // torn write
-    }
-    let cell = field_u64(line, "\"cell\":")? as usize;
-    let open = line.find("\"words\":[")? + "\"words\":[".len();
-    let close = line[open..].find(']')? + open;
-    let words: Option<Vec<u64>> = line[open..close]
-        .split(',')
-        .map(|w| w.trim().parse().ok())
-        .collect();
-    Some((cell, SimStats::from_words(&words?)?))
+    parse_keyed_words(line, "cell").map(|(i, stats)| (i as usize, stats))
 }
 
 #[cfg(test)]
@@ -248,6 +306,144 @@ mod tests {
         assert_eq!(prior[1], Some(sample_stats(1)));
         assert!(prior[2].is_none(), "torn line dropped, cell will re-run");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_cell_records_are_last_wins() {
+        let path = temp_path("dup");
+        let _ = std::fs::remove_file(&path);
+        let (ck, _) = SweepCheckpoint::open(&path, 11, 3).unwrap();
+        ck.record(1, &sample_stats(1)).unwrap();
+        ck.record(1, &sample_stats(2)).unwrap();
+        ck.record(0, &sample_stats(5)).unwrap();
+        ck.record(1, &sample_stats(3)).unwrap();
+        drop(ck);
+        let (_, prior) = SweepCheckpoint::open(&path, 11, 3).unwrap();
+        assert_eq!(prior[0], Some(sample_stats(5)));
+        assert_eq!(prior[1], Some(sample_stats(3)), "latest record wins");
+        assert!(prior[2].is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn header_only_file_resumes_from_scratch() {
+        let path = temp_path("header-only");
+        let _ = std::fs::remove_file(&path);
+        let (ck, _) = SweepCheckpoint::open(&path, 21, 2).unwrap();
+        drop(ck);
+        let (ck, prior) = SweepCheckpoint::open(&path, 21, 2).unwrap();
+        assert!(prior.iter().all(Option::is_none));
+        // And the reopened file still accepts records.
+        ck.record(0, &sample_stats(4)).unwrap();
+        drop(ck);
+        let (_, prior) = SweepCheckpoint::open(&path, 21, 2).unwrap();
+        assert_eq!(prior[0], Some(sample_stats(4)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_line_mid_file_spares_later_records() {
+        let path = temp_path("torn-mid");
+        let _ = std::fs::remove_file(&path);
+        let (ck, _) = SweepCheckpoint::open(&path, 31, 4).unwrap();
+        ck.record(0, &sample_stats(1)).unwrap();
+        drop(ck);
+        // A torn-but-newline-terminated fragment *mid-file* (e.g. a
+        // partial write the kernel padded on crash), followed by more
+        // good records.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"cell\":2,\"words\":[55,66\n").unwrap();
+        drop(f);
+        let (ck, prior) = SweepCheckpoint::open(&path, 31, 4).unwrap();
+        assert_eq!(prior[0], Some(sample_stats(1)));
+        assert!(prior[2].is_none(), "torn mid-file line dropped");
+        ck.record(3, &sample_stats(9)).unwrap();
+        drop(ck);
+        let (_, prior) = SweepCheckpoint::open(&path, 31, 4).unwrap();
+        assert_eq!(prior[0], Some(sample_stats(1)));
+        assert!(prior[2].is_none());
+        assert_eq!(prior[3], Some(sample_stats(9)), "later records survive");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn record_after_torn_tail_is_not_lost() {
+        // The fsync-failure shape: a writer died mid-line with no
+        // trailing newline, and the sweep is then resumed. Before the
+        // repair in `open`, the resumed process's first record was
+        // appended onto the fragment, corrupting *both* records; now
+        // the tail is newline-terminated on open and the new record
+        // survives.
+        let path = temp_path("torn-tail-append");
+        let _ = std::fs::remove_file(&path);
+        let (ck, _) = SweepCheckpoint::open(&path, 41, 4).unwrap();
+        ck.record(0, &sample_stats(1)).unwrap();
+        drop(ck);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"cell\":1,\"words\":[12,34").unwrap(); // no newline
+        drop(f);
+        let (ck, prior) = SweepCheckpoint::open(&path, 41, 4).unwrap();
+        assert_eq!(prior[0], Some(sample_stats(1)));
+        assert!(prior[1].is_none(), "torn tail dropped, cell 1 re-runs");
+        ck.record(2, &sample_stats(7)).unwrap();
+        drop(ck);
+        let (_, prior) = SweepCheckpoint::open(&path, 41, 4).unwrap();
+        assert_eq!(prior[0], Some(sample_stats(1)));
+        assert!(prior[1].is_none());
+        assert_eq!(
+            prior[2],
+            Some(sample_stats(7)),
+            "record appended after a torn tail must not be glued onto the fragment"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn glued_record_after_torn_fragment_is_dropped_not_misparsed() {
+        // The pre-repair failure mode, pinned at the parser level: a
+        // complete record glued onto a torn fragment on one line must
+        // be rejected wholesale — never parsed into a wrong (cell,
+        // stats) association.
+        let good = sample_stats(3);
+        let words: Vec<String> = good.to_words().iter().map(u64::to_string).collect();
+        let glued = format!(
+            "{{\"cell\":1,\"words\":[12,34{{\"cell\":2,\"words\":[{}]}}",
+            words.join(",")
+        );
+        assert_eq!(parse_keyed_words(&glued, "cell"), None);
+        // Whereas a clean encode round-trips.
+        let line = encode_keyed_words("cell", 2, &good);
+        assert_eq!(parse_keyed_words(line.trim_end(), "cell"), Some((2, good)));
+    }
+
+    #[test]
+    fn bad_fingerprint_maps_to_permanent_cell_error() {
+        // A checkpoint from a different sweep is a deployment error,
+        // not a transient fault: the supervisor must classify it as
+        // CellError::Checkpoint and *not* retry the cell.
+        let path = temp_path("bad-fp");
+        let _ = std::fs::remove_file(&path);
+        let (ck, _) = SweepCheckpoint::open(&path, 7, 2).unwrap();
+        drop(ck);
+        let err = SweepCheckpoint::open(&path, 8, 2).unwrap_err();
+        let cell_err = crate::par_sweep::CellError::Checkpoint {
+            message: err.to_string(),
+        };
+        assert!(!cell_err.is_retryable());
+        assert_eq!(cell_err.kind(), "checkpoint");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fnv64_is_stable_and_streaming() {
+        let mut a = Fnv64::new();
+        a.write(b"hello world");
+        let mut b = Fnv64::new();
+        b.write(b"hello ");
+        b.write(b"world");
+        assert_eq!(a.finish(), b.finish(), "chunking never changes the hash");
+        // Known FNV-1a vector: the empty input is the offset basis.
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
     }
 
     #[test]

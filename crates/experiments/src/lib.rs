@@ -40,9 +40,12 @@ pub mod runner;
 pub mod tables;
 pub mod workload_stats;
 
-pub use checkpoint::{sweep_fingerprint, SweepCheckpoint};
+pub use checkpoint::{
+    encode_keyed_words, parse_keyed_words, sweep_fingerprint, Fnv64, SweepCheckpoint,
+};
 pub use par_sweep::{
-    par_map, par_try_map, run_cells, run_cells_checked, run_cells_resumable, run_cells_timed,
-    sweep_grid, CellBudget, CellError, SweepCell,
+    available_cores, contain_cell, effective_jobs, exact_jobs, par_map, par_try_map, run_cells,
+    run_cells_checked, run_cells_resumable, run_cells_timed, run_cells_timed_jobs, sweep_grid,
+    CellBudget, CellError, SweepCell,
 };
 pub use runner::{simulate, simulate_many, RunParams};

@@ -66,6 +66,37 @@ impl std::fmt::Display for CellError {
     }
 }
 
+impl CellError {
+    /// Whether a supervisor may usefully re-run the cell.
+    ///
+    /// * [`CellError::Panic`] — retryable: the panic may be chaos- or
+    ///   environment-induced (a poisoned worker, an injected fault);
+    ///   a deterministic config assertion will simply fail again and
+    ///   exhaust the bounded attempt budget.
+    /// * [`CellError::Timeout`] — retryable: the cycle watchdog is
+    ///   deterministic, but a supervisor may re-run under a larger
+    ///   budget, and chaos harnesses starve budgets transiently.
+    /// * [`CellError::Checkpoint`] — **not** retryable: a checkpoint
+    ///   that belongs to a different sweep (bad fingerprint) or a
+    ///   dead cache file will not heal by re-simulating the cell.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            CellError::Panic { .. } | CellError::Timeout { .. } => true,
+            CellError::Checkpoint { .. } => false,
+        }
+    }
+
+    /// Short machine-readable kind tag (`panic` / `timeout` /
+    /// `checkpoint`), used by error manifests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CellError::Panic { .. } => "panic",
+            CellError::Timeout { .. } => "timeout",
+            CellError::Checkpoint { .. } => "checkpoint",
+        }
+    }
+}
+
 impl std::error::Error for CellError {}
 
 impl From<BudgetExceeded> for CellError {
@@ -89,16 +120,50 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Cores available to this process (1 when undetectable).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Resolves a `--jobs` request to a worker count: `0` means "one per
-/// available core".
+/// available core", and explicit requests are **clamped to the
+/// available cores** — `--jobs 4` on a 1-core box runs one worker
+/// instead of oversubscribing by default (time-slicing threads only
+/// adds scheduling overhead; results are identical either way). Use
+/// [`exact_jobs`] to deliberately oversubscribe, e.g. to measure it.
 pub fn effective_jobs(requested: u64) -> usize {
+    let cores = available_cores();
     if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        cores
+    } else {
+        (requested as usize).min(cores).max(1)
+    }
+}
+
+/// Resolves a jobs request without the core clamp: the explicit
+/// override for callers that *want* more workers than cores
+/// (`bench_throughput` measures oversubscription on purpose). `0`
+/// still means "one per available core".
+pub fn exact_jobs(requested: u64) -> usize {
+    if requested == 0 {
+        available_cores()
     } else {
         requested as usize
     }
+}
+
+/// Runs `f` with panic containment: a panic becomes that cell's
+/// [`CellError::Panic`] instead of unwinding into the caller. This is
+/// the single containment point shared by [`par_try_map`] workers and
+/// the `tpc-service` supervisor.
+pub fn contain_cell<R>(f: impl FnOnce() -> Result<R, CellError>) -> Result<R, CellError> {
+    catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        Err(CellError::Panic {
+            message: panic_message(payload),
+        })
+    })
 }
 
 /// Fallible map over `items` on up to `jobs` worker threads, with
@@ -115,13 +180,7 @@ where
     R: Send,
     F: Fn(&T) -> Result<R, CellError> + Sync,
 {
-    let call = |item: &T| -> Result<R, CellError> {
-        catch_unwind(AssertUnwindSafe(|| f(item))).unwrap_or_else(|payload| {
-            Err(CellError::Panic {
-                message: panic_message(payload),
-            })
-        })
-    };
+    let call = |item: &T| -> Result<R, CellError> { contain_cell(|| f(item)) };
     let jobs = jobs.min(items.len());
     if jobs <= 1 {
         return items.iter().map(call).collect();
@@ -228,7 +287,18 @@ pub fn run_cells(cells: &[SweepCell], params: RunParams) -> Vec<SimStats> {
 /// growing when `jobs` exceeds the available cores and threads
 /// time-slice against each other). `bench_throughput` records both.
 pub fn run_cells_timed(cells: &[SweepCell], params: RunParams) -> Vec<(SimStats, f64)> {
-    par_map(cells, effective_jobs(params.jobs), |cell| {
+    run_cells_timed_jobs(cells, params, effective_jobs(params.jobs))
+}
+
+/// [`run_cells_timed`] with an explicit worker count that bypasses
+/// the core clamp — pair with [`exact_jobs`] when oversubscription is
+/// the thing being measured.
+pub fn run_cells_timed_jobs(
+    cells: &[SweepCell],
+    params: RunParams,
+    jobs: usize,
+) -> Vec<(SimStats, f64)> {
+    par_map(cells, jobs, |cell| {
         let t = std::time::Instant::now();
         let mut sim = Simulator::new(&cell.program, cell.config.clone());
         let stats = sim.run_with_warmup(params.warmup, params.measure);
@@ -384,7 +454,42 @@ mod tests {
     #[test]
     fn effective_jobs_zero_is_auto() {
         assert!(effective_jobs(0) >= 1);
-        assert_eq!(effective_jobs(3), 3);
+        assert_eq!(effective_jobs(0), available_cores());
+    }
+
+    #[test]
+    fn effective_jobs_clamps_to_cores_but_exact_does_not() {
+        let cores = available_cores();
+        // An explicit request never exceeds the machine...
+        assert_eq!(effective_jobs(3), 3.min(cores));
+        assert_eq!(effective_jobs(u64::MAX), cores);
+        assert_eq!(effective_jobs(1), 1);
+        // ...unless the caller opts into oversubscription.
+        assert_eq!(exact_jobs(cores as u64 * 4), cores * 4);
+        assert_eq!(exact_jobs(0), cores);
+    }
+
+    #[test]
+    fn cell_error_retry_classification() {
+        // Hung cell (watchdog) → Timeout, retryable.
+        let timeout = CellError::Timeout {
+            cycles: 50,
+            retired: 3,
+        };
+        assert!(timeout.is_retryable());
+        assert_eq!(timeout.kind(), "timeout");
+        // Panicking cell → Panic, retryable (bounded by the caller).
+        let panic = CellError::Panic {
+            message: "boom".into(),
+        };
+        assert!(panic.is_retryable());
+        assert_eq!(panic.kind(), "panic");
+        // Checkpoint trouble (e.g. a bad fingerprint) → permanent.
+        let ckpt = CellError::Checkpoint {
+            message: "checkpoint belongs to a different sweep".into(),
+        };
+        assert!(!ckpt.is_retryable());
+        assert_eq!(ckpt.kind(), "checkpoint");
     }
 
     #[test]
@@ -460,8 +565,9 @@ mod tests {
         let results = run_cells_checked(&cells, params, CellBudget::default());
         assert!(results[0].is_ok());
         match &results[1] {
-            Err(CellError::Panic { message }) => {
-                assert!(message.contains("entries"), "message: {message}")
+            Err(e @ CellError::Panic { message }) => {
+                assert!(message.contains("entries"), "message: {message}");
+                assert!(e.is_retryable(), "panics are retryable (bounded)");
             }
             other => panic!("expected a panic error, got {other:?}"),
         }
@@ -493,9 +599,10 @@ mod tests {
         let results = run_cells_checked(&cells, params, starved);
         for r in &results {
             match r {
-                Err(CellError::Timeout { cycles, retired }) => {
+                Err(e @ CellError::Timeout { cycles, retired }) => {
                     assert!(*cycles >= 50);
                     assert!(*retired < 110_000);
+                    assert!(e.is_retryable(), "a hung cell is retryable");
                 }
                 other => panic!("expected timeout, got {other:?}"),
             }

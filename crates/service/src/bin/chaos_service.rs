@@ -1,0 +1,416 @@
+//! Self-chaos gate for the sweep daemon.
+//!
+//! ```text
+//! chaos_service [--quick]
+//! ```
+//!
+//! Spawns real `tpc_service` daemons (sibling binary, or
+//! `TPC_SERVICE_BIN`) and attacks them the way the world would:
+//!
+//! 1. **Clean sweep** — daemon results must be bit-identical to a
+//!    serial in-process [`run_cells`] reference (digest over every
+//!    stats word).
+//! 2. **Memoized resubmit** — the same sweep again: every cell served
+//!    from cache, digest unchanged.
+//! 3. **Chaos sweep** — poison cells that panic or hang on their
+//!    first attempts (they must recover via retries to bit-identical
+//!    stats), a permanently failing cell (it must land in the error
+//!    manifest with bounded attempts while the rest complete), a
+//!    worker killed mid-cell (the supervisor must resurrect it), and
+//!    an injected cache-write failure (result still correct).
+//! 4. **Daemon SIGKILL mid-sweep** — kill -9 the daemon after two
+//!    cells complete, tear the cache file's tail, restart on the same
+//!    socket and cache, resubmit: the finished cells replay from
+//!    cache and the merged digest still matches the reference.
+//! 5. **Broken cache path** — a daemon whose `--cache` points at a
+//!    directory degrades to in-memory and still answers correctly;
+//!    the same daemon (started without `--allow-chaos`) must refuse a
+//!    chaos-carrying request.
+//!
+//! Exit status 0 only if every check passes — wired into
+//! `scripts/verify.sh` as the service smoke gate.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tpc_experiments::{run_cells, RunParams, SweepCell};
+use tpc_isa::Program;
+use tpc_processor::SimStats;
+use tpc_service::{digest_results, CellSpec, Client, ConfigSpec, Poison, SweepRequest};
+use tpc_workloads::{Benchmark, WorkloadBuilder};
+
+struct Harness {
+    failures: u32,
+    checks: u32,
+}
+
+impl Harness {
+    fn check(&mut self, name: &str, ok: bool, detail: &str) {
+        self.checks += 1;
+        if ok {
+            println!("PASS {name}");
+        } else {
+            self.failures += 1;
+            println!("FAIL {name}: {detail}");
+        }
+    }
+}
+
+fn daemon_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("TPC_SERVICE_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.set_file_name("tpc_service");
+    p
+}
+
+fn spawn_daemon(socket: &Path, cache: Option<&Path>, workers: usize, allow_chaos: bool) -> Child {
+    let mut cmd = Command::new(daemon_bin());
+    cmd.arg("--socket").arg(socket);
+    if let Some(cache) = cache {
+        cmd.arg("--cache").arg(cache);
+    }
+    cmd.arg("--workers").arg(workers.to_string());
+    if allow_chaos {
+        cmd.arg("--allow-chaos");
+    }
+    cmd.stdout(Stdio::inherit())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn tpc_service daemon")
+}
+
+/// Shuts the daemon down over the client's own connection (the
+/// daemon serves connections sequentially, so a fresh connection
+/// would queue behind this one) and waits for the process to exit.
+fn stop_daemon(mut child: Child, mut client: Client) {
+    let _ = client.shutdown();
+    drop(client);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match child.try_wait() {
+            Ok(Some(_)) => return,
+            Ok(None) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            _ => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return;
+            }
+        }
+    }
+}
+
+fn connect(socket: &Path) -> Client {
+    Client::connect_retry(socket, Duration::from_secs(10)).expect("daemon did not come up")
+}
+
+/// The grid both the reference and the daemon run.
+fn grid(quick: bool) -> Vec<CellSpec> {
+    let benchmarks = if quick {
+        &[Benchmark::Compress, Benchmark::Gcc][..]
+    } else {
+        &[
+            Benchmark::Compress,
+            Benchmark::Gcc,
+            Benchmark::Go,
+            Benchmark::Vortex,
+        ][..]
+    };
+    let configs = [
+        ConfigSpec::parse("baseline:64").unwrap(),
+        ConfigSpec::parse("combined:64:32").unwrap(),
+    ];
+    benchmarks
+        .iter()
+        .flat_map(|&b| configs.iter().map(move |&c| CellSpec::new(b, c)))
+        .collect()
+}
+
+/// Serial, unsupervised, in-process reference results for `specs`.
+fn serial_reference(specs: &[CellSpec], params: RunParams) -> Vec<SimStats> {
+    let mut programs: HashMap<&'static str, Arc<Program>> = HashMap::new();
+    let cells: Vec<SweepCell> = specs
+        .iter()
+        .map(|spec| {
+            let program = programs
+                .entry(spec.benchmark.name())
+                .or_insert_with(|| {
+                    Arc::new(
+                        WorkloadBuilder::new(spec.benchmark)
+                            .seed(params.seed)
+                            .build(),
+                    )
+                })
+                .clone();
+            SweepCell::new(program, spec.sim_config())
+        })
+        .collect();
+    run_cells(&cells, params)
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        RunParams {
+            warmup: 4_000,
+            measure: 8_000,
+            seed: 1,
+            jobs: 1,
+        }
+    } else {
+        RunParams {
+            warmup: 40_000,
+            measure: 80_000,
+            seed: 1,
+            jobs: 1,
+        }
+    };
+    let dir = std::env::temp_dir().join(format!("tpc-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let mut h = Harness {
+        failures: 0,
+        checks: 0,
+    };
+
+    let specs = grid(quick);
+    let n = specs.len();
+    println!(
+        "chaos_service: {} cells, warmup {}, measure {}",
+        n, params.warmup, params.measure
+    );
+    let reference = serial_reference(&specs, params);
+    let ref_digest = digest_results(reference.iter().map(Some));
+
+    let request = |cells: Vec<CellSpec>| {
+        let mut req = SweepRequest::new(params.warmup, params.measure, params.seed, cells);
+        req.policy.backoff_base_ms = 1;
+        req.policy.backoff_cap_ms = 5;
+        req
+    };
+
+    // --- Scenarios 1-3: one daemon, persistent cache, chaos allowed.
+    let socket = dir.join("main.sock");
+    let cache = dir.join("cache.jsonl");
+    let daemon = spawn_daemon(&socket, Some(&cache), 3, true);
+    let mut client = connect(&socket);
+    h.check("ping", client.ping().is_ok(), "daemon unreachable");
+
+    // 1. Clean sweep: bit-identical to the serial reference.
+    match client.sweep(&request(specs.clone())) {
+        Ok(report) => {
+            h.check(
+                "clean sweep matches serial reference",
+                report.digest == ref_digest && report.ok_count() == n,
+                &format!(
+                    "digest {} vs reference {ref_digest}, ok {}/{n}",
+                    report.digest,
+                    report.ok_count()
+                ),
+            );
+            h.check(
+                "clean sweep ran fresh",
+                report.cached_count() == 0 && report.retries == 0,
+                &format!(
+                    "cached {}, retries {}",
+                    report.cached_count(),
+                    report.retries
+                ),
+            );
+        }
+        Err(e) => h.check(
+            "clean sweep matches serial reference",
+            false,
+            &e.to_string(),
+        ),
+    }
+
+    // 2. Resubmit: every cell replays from the cache, digest unchanged.
+    match client.sweep(&request(specs.clone())) {
+        Ok(report) => h.check(
+            "resubmit is fully memoized and identical",
+            report.digest == ref_digest && report.cached_count() == n,
+            &format!(
+                "digest {} vs {ref_digest}, cached {}/{n}",
+                report.digest,
+                report.cached_count()
+            ),
+        ),
+        Err(e) => h.check(
+            "resubmit is fully memoized and identical",
+            false,
+            &e.to_string(),
+        ),
+    }
+
+    // 3. Chaos sweep: flaky poison (panic, hang), a permanent
+    // failure, a worker kill, and a cache-write failure — partial
+    // results still bit-identical, failure degraded into the
+    // manifest.
+    let mut chaos_specs = specs.clone();
+    chaos_specs[0].poison = Poison {
+        panic_attempts: 1,
+        hang_attempts: 0,
+    };
+    chaos_specs[1].poison = Poison {
+        panic_attempts: 0,
+        hang_attempts: 1,
+    };
+    let mut permanent = specs[0].clone();
+    permanent.poison.panic_attempts = u32::MAX;
+    chaos_specs.push(permanent);
+    // Chaos must target cells the cache can't satisfy (the poisoned
+    // ones — their fingerprints differ from the clean grid already
+    // memoized in scenarios 1-2); a cached cell never reaches a
+    // worker, so a kill or write-failure aimed at it would not fire.
+    let mut req = request(chaos_specs);
+    req.chaos.kill_worker.push((1, 1));
+    req.chaos.fail_cache_writes.push(0);
+    match client.sweep(&req) {
+        Ok(report) => {
+            let cells_match = (0..n).all(|i| report.stats[i].as_ref() == Some(&reference[i]));
+            h.check(
+                "chaos sweep: surviving cells bit-identical",
+                cells_match,
+                "a retried/killed cell diverged from the serial reference",
+            );
+            h.check(
+                "chaos sweep: flaky cells recovered on attempt 2",
+                report.attempts[0] == 2 && report.attempts[1] == 2,
+                &format!("attempts {:?}", &report.attempts[..2]),
+            );
+            let manifest_ok = report.stats[n].is_none()
+                && report.manifest.len() == 1
+                && report.manifest[0].index == n
+                && report.manifest[0].kind == "panic"
+                && report.manifest[0].attempts == req.policy.max_attempts;
+            h.check(
+                "chaos sweep: permanent failure degraded into manifest",
+                manifest_ok,
+                &format!("manifest {:?}", report.manifest),
+            );
+            h.check(
+                "chaos sweep: killed worker was resurrected",
+                report.workers_killed == 1,
+                &format!("workers_killed {}", report.workers_killed),
+            );
+            h.check(
+                "chaos sweep: injected cache-write failure observed",
+                report.cache_write_failures == 1,
+                &format!("cache_write_failures {}", report.cache_write_failures),
+            );
+        }
+        Err(e) => h.check(
+            "chaos sweep: surviving cells bit-identical",
+            false,
+            &e.to_string(),
+        ),
+    }
+    stop_daemon(daemon, client);
+
+    // --- Scenario 4: SIGKILL the daemon mid-sweep, tear the cache,
+    // restart, resubmit — completed cells replay, merged digest
+    // matches.
+    let socket = dir.join("kill.sock");
+    let cache = dir.join("kill-cache.jsonl");
+    let daemon = spawn_daemon(&socket, Some(&cache), 1, false);
+    let mut client = connect(&socket);
+    client
+        .submit(&request(specs.clone()))
+        .expect("submit before kill");
+    let mut seen = 0;
+    while seen < 2 {
+        let line = client.next_line().expect("event before kill");
+        if line.contains("\"event\":\"cell\"") {
+            seen += 1;
+        }
+    }
+    let mut daemon = daemon;
+    daemon.kill().expect("SIGKILL daemon");
+    let _ = daemon.wait();
+    h.check(
+        "daemon SIGKILL severs the stream",
+        client.next_line().is_err() || {
+            // Drain whatever was already buffered; the stream must
+            // end without a `done` line.
+            let mut done = false;
+            while let Ok(line) = client.next_line() {
+                done |= line.contains("\"event\":\"done\"");
+            }
+            !done
+        },
+        "sweep claimed completion after SIGKILL",
+    );
+    // Tear the cache tail the way a crash mid-append would.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&cache)
+            .expect("open cache for tearing");
+        f.write_all(b"{\"fp\":123,\"words\":[9,9,9").expect("tear");
+    }
+    let daemon2 = spawn_daemon(&socket, Some(&cache), 1, false);
+    let mut client = connect(&socket);
+    match client.sweep(&request(specs.clone())) {
+        Ok(report) => {
+            h.check(
+                "post-SIGKILL resubmit merges bit-identically",
+                report.digest == ref_digest && report.ok_count() == n,
+                &format!("digest {} vs {ref_digest}", report.digest),
+            );
+            h.check(
+                "post-SIGKILL resubmit replays finished cells from cache",
+                report.cached_count() >= 2,
+                &format!("cached {}/{n}", report.cached_count()),
+            );
+        }
+        Err(e) => h.check(
+            "post-SIGKILL resubmit merges bit-identically",
+            false,
+            &e.to_string(),
+        ),
+    }
+    stop_daemon(daemon2, client);
+
+    // --- Scenario 5: broken cache path (a directory) + chaos refusal.
+    let socket = dir.join("degraded.sock");
+    let daemon = spawn_daemon(&socket, Some(&dir), 2, false);
+    let mut client = connect(&socket);
+    match client.sweep(&request(specs.clone())) {
+        Ok(report) => h.check(
+            "daemon with unusable cache path still answers correctly",
+            report.digest == ref_digest,
+            &format!("digest {} vs {ref_digest}", report.digest),
+        ),
+        Err(e) => h.check(
+            "daemon with unusable cache path still answers correctly",
+            false,
+            &e.to_string(),
+        ),
+    }
+    let mut refused = request(specs.clone());
+    refused.chaos.kill_worker.push((0, 1));
+    let err = client.sweep(&refused);
+    h.check(
+        "chaos plan refused without --allow-chaos",
+        err.is_err() && format!("{}", err.unwrap_err()).contains("allow-chaos"),
+        "daemon accepted chaos without the flag",
+    );
+    stop_daemon(daemon, client);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "chaos_service: {} checks, {} failures",
+        h.checks, h.failures
+    );
+    if h.failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,313 @@
+//! Content-addressed result cache, built on the checkpoint JSONL
+//! codec.
+//!
+//! The cache file is a header line followed by one
+//! `{"fp":<fingerprint>,"words":[...]}` line per memoized cell (the
+//! [`SimStats::to_words`] integer codec — bit-exact round-trip):
+//!
+//! ```text
+//! {"kind":"tpc-result-cache","version":1}
+//! {"fp":9072148444473136245,"words":[163840,80000,...]}
+//! ```
+//!
+//! Unlike a sweep checkpoint the file is keyed by **cell
+//! fingerprint**, not cell index, so it spans sweeps: re-submitting
+//! any sweep that overlaps a previous one replays the overlapping
+//! cells for free. The torn-line rules are inherited from the
+//! checkpoint module: a line that doesn't parse is skipped (that cell
+//! re-runs and is re-recorded), duplicates are last-wins, and a file
+//! ending mid-line (SIGKILL'd daemon) is newline-repaired on open so
+//! the next append is not glued onto the fragment.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use tpc_experiments::{encode_keyed_words, parse_keyed_words};
+use tpc_processor::SimStats;
+
+/// The cache file's identifying header.
+pub const CACHE_HEADER: &str = "{\"kind\":\"tpc-result-cache\",\"version\":1}";
+
+/// Counters describing a cache's life so far (`cache_stats` op).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Memoized results currently held.
+    pub entries: u64,
+    /// Lookups that found a result.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Failed insert attempts (I/O errors; the result was still
+    /// returned to the client, only the memoization was lost).
+    pub insert_failures: u64,
+}
+
+struct CacheInner {
+    map: HashMap<u64, SimStats>,
+    file: Option<File>,
+    hits: u64,
+    misses: u64,
+    insert_failures: u64,
+}
+
+/// A shared, file-backed (or in-memory) memoization table keyed by
+/// [`CellSpec::fingerprint`](crate::spec::CellSpec::fingerprint).
+/// All methods take `&self`; the table is safe to share across the
+/// daemon's connections and workers.
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl ResultCache {
+    /// A cache with no backing file (results survive for the
+    /// daemon's lifetime only).
+    pub fn in_memory() -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                file: None,
+                hits: 0,
+                misses: 0,
+                insert_failures: 0,
+            }),
+        }
+    }
+
+    /// Opens (or creates) the cache file at `path`, loading every
+    /// parseable record. Torn lines are skipped; a torn tail is
+    /// newline-repaired before any append.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] when the file
+    /// exists but is not a result cache.
+    pub fn open(path: &Path) -> io::Result<ResultCache> {
+        let mut map = HashMap::new();
+        let mut torn_tail = false;
+        if path.exists() {
+            let contents = String::from_utf8_lossy(&std::fs::read(path)?).into_owned();
+            if !contents.is_empty() {
+                let mut lines = contents.lines();
+                let header = lines.next().unwrap_or("");
+                if !header.contains("\"kind\":\"tpc-result-cache\"") {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("not a tpc result cache: header {header:?}"),
+                    ));
+                }
+                for line in lines {
+                    if let Some((fp, stats)) = parse_keyed_words(line, "fp") {
+                        map.insert(fp, stats); // duplicates: last wins
+                    }
+                }
+                torn_tail = !contents.ends_with('\n');
+            }
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if file.metadata()?.len() == 0 {
+            writeln!(file, "{CACHE_HEADER}")?;
+            file.flush()?;
+        } else if torn_tail {
+            file.write_all(b"\n")?;
+            file.flush()?;
+        }
+        Ok(ResultCache {
+            inner: Mutex::new(CacheInner {
+                map,
+                file: Some(file),
+                hits: 0,
+                misses: 0,
+                insert_failures: 0,
+            }),
+        })
+    }
+
+    /// Opens `path`, degrading to an in-memory cache (with a warning
+    /// message for the log) when the file is unusable — a daemon with
+    /// a broken cache disk still serves correct results, just without
+    /// persistence.
+    pub fn open_or_memory(path: &Path) -> (ResultCache, Option<String>) {
+        match ResultCache::open(path) {
+            Ok(cache) => (cache, None),
+            Err(e) => (
+                ResultCache::in_memory(),
+                Some(format!(
+                    "cache {path:?} unusable ({e}); continuing without persistence"
+                )),
+            ),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        // A panic while holding the lock can only come from a map
+        // operation (file errors are returned, not thrown); the map
+        // is still consistent, so poisoning is safe to clear.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Looks up a memoized result, counting the hit or miss.
+    pub fn lookup(&self, fingerprint: u64) -> Option<SimStats> {
+        let mut inner = self.lock();
+        match inner.map.get(&fingerprint).cloned() {
+            Some(stats) => {
+                inner.hits += 1;
+                Some(stats)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoizes one result, appending it to the backing file (one
+    /// `write_all` per line, torn-tail repaired on failure, same as
+    /// the checkpoint writer).
+    ///
+    /// # Errors
+    ///
+    /// The append failed; the in-memory entry is still installed, so
+    /// the daemon keeps the memoization until restart.
+    pub fn insert(&self, fingerprint: u64, stats: &SimStats) -> io::Result<()> {
+        let line = encode_keyed_words("fp", fingerprint, stats);
+        let mut inner = self.lock();
+        inner.map.insert(fingerprint, stats.clone());
+        let Some(file) = inner.file.as_mut() else {
+            return Ok(());
+        };
+        let wrote = file.write_all(line.as_bytes()).and_then(|()| file.flush());
+        if let Err(e) = wrote {
+            let _ = file.write_all(b"\n");
+            let _ = file.flush();
+            inner.insert_failures += 1;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            entries: inner.map.len() as u64,
+            hits: inner.hits,
+            misses: inner.misses,
+            insert_failures: inner.insert_failures,
+        }
+    }
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ResultCache")
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tpc-service-cache-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn sample(x: u64) -> SimStats {
+        SimStats {
+            cycles: 10_000 + x,
+            retired_instructions: 4_000 + x,
+            trace_fetches: x,
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn round_trips_across_reopen() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let cache = ResultCache::open(&path).unwrap();
+        assert_eq!(cache.lookup(1), None);
+        cache.insert(1, &sample(1)).unwrap();
+        cache.insert(u64::MAX, &sample(2)).unwrap();
+        assert_eq!(cache.lookup(1), Some(sample(1)));
+        drop(cache);
+        let cache = ResultCache::open(&path).unwrap();
+        assert_eq!(cache.lookup(1), Some(sample(1)));
+        assert_eq!(cache.lookup(u64::MAX), Some(sample(2)));
+        assert_eq!(cache.lookup(3), None);
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.hits, stats.misses), (2, 2, 1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_repaired() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let cache = ResultCache::open(&path).unwrap();
+        cache.insert(7, &sample(7)).unwrap();
+        drop(cache);
+        // SIGKILL'd writer: a partial record with no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"fp\":8,\"words\":[1,2").unwrap();
+        drop(f);
+        let cache = ResultCache::open(&path).unwrap();
+        assert_eq!(cache.lookup(7), Some(sample(7)));
+        assert_eq!(cache.lookup(8), None, "torn record dropped");
+        // The repaired tail means this append is not glued onto the
+        // fragment.
+        cache.insert(9, &sample(9)).unwrap();
+        drop(cache);
+        let cache = ResultCache::open(&path).unwrap();
+        assert_eq!(cache.lookup(9), Some(sample(9)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_fingerprints_are_last_wins() {
+        let path = temp_path("dup");
+        let _ = std::fs::remove_file(&path);
+        let cache = ResultCache::open(&path).unwrap();
+        cache.insert(5, &sample(1)).unwrap();
+        cache.insert(5, &sample(2)).unwrap();
+        drop(cache);
+        let cache = ResultCache::open(&path).unwrap();
+        assert_eq!(cache.lookup(5), Some(sample(2)));
+        assert_eq!(cache.stats().entries, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_file_is_rejected_but_degrades_gracefully() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, "not a cache\n").unwrap();
+        let err = ResultCache::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let (cache, warning) = ResultCache::open_or_memory(&path);
+        assert!(warning.unwrap().contains("continuing without persistence"));
+        cache.insert(1, &sample(1)).unwrap();
+        assert_eq!(cache.lookup(1), Some(sample(1)), "in-memory fallback works");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn directory_as_cache_path_degrades_gracefully() {
+        let dir =
+            std::env::temp_dir().join(format!("tpc-service-cache-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (cache, warning) = ResultCache::open_or_memory(&dir);
+        assert!(warning.is_some());
+        cache.insert(1, &sample(1)).unwrap();
+        assert_eq!(cache.lookup(1), Some(sample(1)));
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

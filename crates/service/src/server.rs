@@ -1,0 +1,324 @@
+//! The Unix-domain-socket daemon.
+//!
+//! Protocol: line-delimited JSON over a `SOCK_STREAM` Unix socket.
+//! The client sends one request object per line; the server answers
+//! with one or more newline-terminated JSON lines. Ops:
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"op":"ping"}` | `{"ok":true,"op":"ping"}` |
+//! | `{"op":"cache_stats"}` | `{"ok":true,"op":"cache_stats","entries":..,"hits":..,"misses":..,"insert_failures":..}` |
+//! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}`, then the daemon exits |
+//! | `{"op":"sweep",...}` | `{"ok":true,"op":"accepted",...}`, a stream of `event` lines, then a final `done` line |
+//!
+//! Malformed or rejected requests get `{"ok":false,"error":"..."}`;
+//! the connection stays usable. Sweep event lines (in completion
+//! order, not grid order — every line carries its cell `index`):
+//!
+//! ```text
+//! {"event":"cell","index":3,"attempts":1,"cached":false,"ms":12.5,"words":[...]}
+//! {"event":"retry","index":5,"attempt":1,"delay_ms":13,"kind":"panic"}
+//! {"event":"worker_killed","worker":0,"index":5,"attempt":2}
+//! {"event":"cell_error","index":6,"attempts":3,"kind":"timeout","message":"..."}
+//! {"event":"done","ok":7,"failed":1,"cached":2,"retries":3,"workers_killed":1,
+//!  "cache_write_failures":0,"digest":123...,
+//!  "manifest":[{"index":6,"kind":"timeout","message":"...","attempts":3}]}
+//! ```
+//!
+//! Connections are served **sequentially** (parallelism lives inside
+//! a sweep, across the worker pool — not across clients); a second
+//! client queues in the listen backlog until the first disconnects.
+//!
+//! The `manifest` array lists every permanently failed cell; `digest`
+//! is the order-sensitive FNV digest of the completed cells' stats
+//! words ([`crate::supervisor::digest_results`]) for cheap
+//! bit-identity checks against a
+//! reference run. Chaos injection in a request is refused unless the
+//! daemon was started with `--allow-chaos`.
+
+use crate::cache::ResultCache;
+use crate::json::{escape, Json};
+use crate::spec::SweepRequest;
+use crate::supervisor::{prepare_cells, run_supervised, Event, SupervisorOptions, SweepOutcome};
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use tpc_processor::SimStats;
+
+/// Daemon configuration (mirrors the `tpc_service` CLI).
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Socket path to bind (a stale socket file is replaced).
+    pub socket: PathBuf,
+    /// Result-cache file; `None` keeps memoization in memory only.
+    pub cache: Option<PathBuf>,
+    /// Worker threads per sweep (0 = all available cores).
+    pub workers: usize,
+    /// Accept requests carrying chaos plans (test harnesses only).
+    pub allow_chaos: bool,
+    /// Return from [`serve`] after a `shutdown` op (the binary always
+    /// sets this; in-process tests may serve several shutdowns).
+    pub exit_on_shutdown: bool,
+}
+
+impl ServerOptions {
+    /// Defaults: in-memory cache, auto worker count, chaos refused.
+    pub fn new(socket: PathBuf) -> ServerOptions {
+        ServerOptions {
+            socket,
+            cache: None,
+            workers: 0,
+            allow_chaos: false,
+            exit_on_shutdown: true,
+        }
+    }
+}
+
+/// Serializes stats words as a JSON array fragment.
+fn words_json(stats: &SimStats) -> String {
+    let words: Vec<String> = stats.to_words().iter().map(u64::to_string).collect();
+    format!("[{}]", words.join(","))
+}
+
+/// A line writer shared between the connection handler and the
+/// supervisor's worker threads. Write errors are latched, not
+/// propagated: a client that disconnects mid-sweep must not kill the
+/// sweep (its cells still land in the cache for the re-submit).
+struct EventWriter {
+    inner: Mutex<(UnixStream, bool)>,
+}
+
+impl EventWriter {
+    fn new(stream: UnixStream) -> EventWriter {
+        EventWriter {
+            inner: Mutex::new((stream, false)),
+        }
+    }
+
+    fn line(&self, s: &str) {
+        let mut guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let (stream, dead) = &mut *guard;
+        if *dead {
+            return;
+        }
+        if stream
+            .write_all(s.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .is_err()
+        {
+            *dead = true;
+        }
+    }
+}
+
+fn event_line(event: &Event) -> String {
+    match event {
+        Event::CellDone {
+            index,
+            attempts,
+            cached,
+            ms,
+            stats,
+        } => format!(
+            "{{\"event\":\"cell\",\"index\":{index},\"attempts\":{attempts},\
+             \"cached\":{cached},\"ms\":{ms:.3},\"words\":{}}}",
+            words_json(stats)
+        ),
+        Event::CellFailed {
+            index,
+            attempts,
+            error,
+        } => format!(
+            "{{\"event\":\"cell_error\",\"index\":{index},\"attempts\":{attempts},\
+             \"kind\":\"{}\",\"message\":\"{}\"}}",
+            error.kind(),
+            escape(&error.to_string())
+        ),
+        Event::Retry {
+            index,
+            attempt,
+            delay_ms,
+            kind,
+        } => format!(
+            "{{\"event\":\"retry\",\"index\":{index},\"attempt\":{attempt},\
+             \"delay_ms\":{delay_ms},\"kind\":\"{kind}\"}}"
+        ),
+        Event::WorkerKilled {
+            worker,
+            index,
+            attempt,
+        } => format!(
+            "{{\"event\":\"worker_killed\",\"worker\":{worker},\
+             \"index\":{index},\"attempt\":{attempt}}}"
+        ),
+    }
+}
+
+fn done_line(outcome: &SweepOutcome) -> String {
+    let manifest: Vec<String> = outcome
+        .manifest()
+        .iter()
+        .map(|entry| {
+            format!(
+                "{{\"index\":{},\"kind\":\"{}\",\"message\":\"{}\",\"attempts\":{}}}",
+                entry.index,
+                escape(&entry.kind),
+                escape(&entry.message),
+                entry.attempts
+            )
+        })
+        .collect();
+    let cached = outcome.cells.iter().filter(|c| c.cached).count();
+    let write_failures = outcome
+        .cells
+        .iter()
+        .filter(|c| c.cache_write_failed)
+        .count();
+    format!(
+        "{{\"event\":\"done\",\"ok\":{},\"failed\":{},\"cached\":{cached},\
+         \"retries\":{},\"workers_killed\":{},\"cache_write_failures\":{write_failures},\
+         \"digest\":{},\"manifest\":[{}]}}",
+        outcome.ok_count(),
+        outcome.failed_count(),
+        outcome.retries,
+        outcome.workers_killed,
+        outcome.digest(),
+        manifest.join(",")
+    )
+}
+
+fn handle_sweep(
+    req: &SweepRequest,
+    opts: &ServerOptions,
+    cache: &ResultCache,
+    writer: &EventWriter,
+) {
+    writer.line(&format!(
+        "{{\"ok\":true,\"op\":\"accepted\",\"cells\":{}}}",
+        req.cells.len()
+    ));
+    let workers = if opts.workers == 0 {
+        tpc_experiments::available_cores()
+    } else {
+        opts.workers
+    };
+    let prepared = prepare_cells(req);
+    let sup_opts = SupervisorOptions::for_request(req, workers);
+    let effective_cache = if req.no_cache { None } else { Some(cache) };
+    let outcome = run_supervised(
+        &prepared,
+        &sup_opts,
+        effective_cache,
+        &req.chaos,
+        &|event| writer.line(&event_line(&event)),
+    );
+    writer.line(&done_line(&outcome));
+}
+
+/// Handles one client connection; returns `true` when the client
+/// requested daemon shutdown.
+fn handle_connection(stream: UnixStream, opts: &ServerOptions, cache: &ResultCache) -> bool {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return false,
+    };
+    let writer = EventWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = match Json::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                writer.line(&format!(
+                    "{{\"ok\":false,\"error\":\"bad json: {}\"}}",
+                    escape(&e)
+                ));
+                continue;
+            }
+        };
+        match parsed.get("op").and_then(Json::as_str) {
+            Some("ping") => writer.line("{\"ok\":true,\"op\":\"ping\"}"),
+            Some("cache_stats") => {
+                let s = cache.stats();
+                writer.line(&format!(
+                    "{{\"ok\":true,\"op\":\"cache_stats\",\"entries\":{},\"hits\":{},\
+                     \"misses\":{},\"insert_failures\":{}}}",
+                    s.entries, s.hits, s.misses, s.insert_failures
+                ));
+            }
+            Some("shutdown") => {
+                writer.line("{\"ok\":true,\"op\":\"shutdown\"}");
+                return true;
+            }
+            Some("sweep") => match SweepRequest::from_json(&parsed) {
+                Ok(req) => {
+                    if !req.chaos.is_empty() && !opts.allow_chaos {
+                        writer.line(
+                            "{\"ok\":false,\"error\":\"chaos plan refused: \
+                             daemon started without --allow-chaos\"}",
+                        );
+                    } else {
+                        handle_sweep(&req, opts, cache, &writer);
+                    }
+                }
+                Err(e) => writer.line(&format!(
+                    "{{\"ok\":false,\"error\":\"bad sweep: {}\"}}",
+                    escape(&e)
+                )),
+            },
+            Some(other) => writer.line(&format!(
+                "{{\"ok\":false,\"error\":\"unknown op {}\"}}",
+                escape(&format!("{other:?}"))
+            )),
+            None => writer.line("{\"ok\":false,\"error\":\"missing op\"}"),
+        }
+    }
+    false
+}
+
+/// Binds the socket and serves connections until a `shutdown` op
+/// (when [`ServerOptions::exit_on_shutdown`]) or an accept error.
+///
+/// A pre-existing socket file is probed first: if a daemon still
+/// answers on it, binding fails with [`io::ErrorKind::AddrInUse`];
+/// a dead leftover (SIGKILL'd daemon) is silently replaced — exactly
+/// the restart path the chaos harness exercises.
+///
+/// # Errors
+///
+/// Socket binding/acceptance failures. An unusable cache file is
+/// *not* an error: the daemon logs a warning to stderr and serves
+/// from memory.
+pub fn serve(opts: &ServerOptions) -> io::Result<()> {
+    if opts.socket.exists() {
+        if UnixStream::connect(&opts.socket).is_ok() {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                format!("a daemon is already listening on {:?}", opts.socket),
+            ));
+        }
+        std::fs::remove_file(&opts.socket)?;
+    }
+    let cache = match &opts.cache {
+        None => ResultCache::in_memory(),
+        Some(path) => {
+            let (cache, warning) = ResultCache::open_or_memory(path);
+            if let Some(w) = warning {
+                eprintln!("tpc-service: {w}");
+            }
+            cache
+        }
+    };
+    let listener = UnixListener::bind(&opts.socket)?;
+    for stream in listener.incoming() {
+        let stream = stream?;
+        if handle_connection(stream, opts, &cache) && opts.exit_on_shutdown {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(&opts.socket);
+    Ok(())
+}

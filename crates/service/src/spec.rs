@@ -1,0 +1,473 @@
+//! Wire-level sweep and cell specifications.
+//!
+//! A client cannot ship a generated [`Program`](tpc_isa::Program)
+//! over the socket (nor should it — workloads are deterministic), so
+//! a sweep is specified *by content*: benchmark name, a compact
+//! configuration spec string, the workload seed, and the run window.
+//! The daemon regenerates the program and the full
+//! [`SimConfig`](tpc_processor::SimConfig) from the spec; the same
+//! content hashed with [`Fnv64`] is the cell's identity in the result
+//! cache.
+//!
+//! Config spec strings:
+//!
+//! | spec | meaning |
+//! |---|---|
+//! | `baseline:<tc>` | no preconstruction, `<tc>`-entry trace cache |
+//! | `precon:<tc>:<pb>` | preconstruction with a `<pb>`-entry buffer |
+//! | `combined:<tc>:<pb>` | preconstruction + trace preprocessing |
+//! | `unified:<total>:<ways>:<epoch>` | pooled 4-way unified store |
+
+use crate::json::{escape, Json};
+use crate::supervisor::{ChaosPlan, RetryPolicy};
+use std::str::FromStr;
+use tpc_core::FaultPlan;
+use tpc_experiments::{CellBudget, Fnv64};
+use tpc_processor::SimConfig;
+use tpc_workloads::Benchmark;
+
+/// A machine configuration in its compact wire form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigSpec {
+    /// `baseline:<tc>` — no preconstruction.
+    Baseline(u32),
+    /// `precon:<tc>:<pb>` — preconstruction engine + buffer.
+    Precon(u32, u32),
+    /// `combined:<tc>:<pb>` — preconstruction + preprocessing.
+    Combined(u32, u32),
+    /// `unified:<total>:<ways>:<epoch>` — pooled unified store.
+    Unified(u32, u8, u64),
+}
+
+impl ConfigSpec {
+    /// Parses a spec string (see the module table).
+    pub fn parse(s: &str) -> Result<ConfigSpec, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let num = |i: usize| -> Result<u64, String> {
+            parts
+                .get(i)
+                .ok_or_else(|| format!("config spec {s:?}: missing field {i}"))?
+                .parse()
+                .map_err(|_| format!("config spec {s:?}: field {i} is not a number"))
+        };
+        let arity = |n: usize| -> Result<(), String> {
+            if parts.len() == n {
+                Ok(())
+            } else {
+                Err(format!("config spec {s:?}: expected {n} fields"))
+            }
+        };
+        match parts[0] {
+            "baseline" => {
+                arity(2)?;
+                Ok(ConfigSpec::Baseline(num(1)? as u32))
+            }
+            "precon" => {
+                arity(3)?;
+                Ok(ConfigSpec::Precon(num(1)? as u32, num(2)? as u32))
+            }
+            "combined" => {
+                arity(3)?;
+                Ok(ConfigSpec::Combined(num(1)? as u32, num(2)? as u32))
+            }
+            "unified" => {
+                arity(4)?;
+                Ok(ConfigSpec::Unified(num(1)? as u32, num(2)? as u8, num(3)?))
+            }
+            other => Err(format!(
+                "config spec {s:?}: unknown kind {other:?} \
+                 (expected baseline/precon/combined/unified)"
+            )),
+        }
+    }
+
+    /// The canonical spec string (`parse` round-trips it).
+    pub fn spec_string(&self) -> String {
+        match self {
+            ConfigSpec::Baseline(tc) => format!("baseline:{tc}"),
+            ConfigSpec::Precon(tc, pb) => format!("precon:{tc}:{pb}"),
+            ConfigSpec::Combined(tc, pb) => format!("combined:{tc}:{pb}"),
+            ConfigSpec::Unified(total, ways, epoch) => format!("unified:{total}:{ways}:{epoch}"),
+        }
+    }
+
+    /// Expands the spec into a full simulator configuration.
+    pub fn to_sim_config(self) -> SimConfig {
+        match self {
+            ConfigSpec::Baseline(tc) => SimConfig::baseline(tc),
+            ConfigSpec::Precon(tc, pb) => SimConfig::with_precon(tc, pb),
+            ConfigSpec::Combined(tc, pb) => SimConfig::with_precon(tc, pb).with_preprocess(),
+            ConfigSpec::Unified(total, ways, epoch) => SimConfig::unified(total, ways, epoch),
+        }
+    }
+}
+
+/// Deterministic failure injection carried *by a cell* — the
+/// self-chaos harness's probe. A poisoned cell fails its first N
+/// attempts (by panicking, or by running under a starved cycle
+/// budget that trips the watchdog) and then behaves normally, so
+/// retry paths can be exercised against bit-identical expectations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Poison {
+    /// Panic on attempts `1..=panic_attempts`.
+    pub panic_attempts: u32,
+    /// Run under a starved watchdog budget (guaranteed
+    /// `CellError::Timeout`) on attempts `1..=hang_attempts`.
+    pub hang_attempts: u32,
+}
+
+impl Poison {
+    /// True when the cell carries no injected failures.
+    pub fn is_clean(&self) -> bool {
+        self.panic_attempts == 0 && self.hang_attempts == 0
+    }
+}
+
+/// One cell of a service sweep, specified by content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSpec {
+    /// The synthetic benchmark to generate.
+    pub benchmark: Benchmark,
+    /// The machine configuration to simulate it under.
+    pub config: ConfigSpec,
+    /// Optional deterministic fault-injection plan `(seed,
+    /// per-mille)` applied via [`FaultPlan::all`].
+    pub faults: Option<(u64, u32)>,
+    /// Chaos poisoning (zeroed for production cells).
+    pub poison: Poison,
+}
+
+impl CellSpec {
+    /// A clean cell.
+    pub fn new(benchmark: Benchmark, config: ConfigSpec) -> CellSpec {
+        CellSpec {
+            benchmark,
+            config,
+            faults: None,
+            poison: Poison::default(),
+        }
+    }
+
+    /// The full simulator configuration for this cell.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut config = self.config.to_sim_config();
+        if let Some((seed, per_mille)) = self.faults {
+            config = config.with_faults(FaultPlan::all(seed, per_mille));
+        }
+        config
+    }
+
+    /// Content-addressed identity of this cell's *result*: everything
+    /// that determines the simulation output — run window, workload
+    /// seed, benchmark, the expanded configuration (which covers any
+    /// fault plan), and the poison marker. Two cells with equal
+    /// fingerprints produce bit-identical [`SimStats`]
+    /// (simulations are deterministic), which is what makes the
+    /// result cache sound.
+    ///
+    /// [`SimStats`]: tpc_processor::SimStats
+    pub fn fingerprint(&self, warmup: u64, measure: u64, seed: u64) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(b"tpc-cell-v1");
+        h.write(&warmup.to_le_bytes());
+        h.write(&measure.to_le_bytes());
+        h.write(&seed.to_le_bytes());
+        h.write(self.benchmark.name().as_bytes());
+        h.write(format!("{:?}", self.sim_config()).as_bytes());
+        h.write(&self.poison.panic_attempts.to_le_bytes());
+        h.write(&self.poison.hang_attempts.to_le_bytes());
+        h.finish()
+    }
+
+    /// Encodes the cell as a JSON object fragment.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"benchmark\":\"{}\",\"config\":\"{}\"",
+            escape(self.benchmark.name()),
+            escape(&self.config.spec_string())
+        );
+        if let Some((seed, per_mille)) = self.faults {
+            s.push_str(&format!(
+                ",\"faults_seed\":{seed},\"faults_permille\":{per_mille}"
+            ));
+        }
+        if self.poison.panic_attempts > 0 {
+            s.push_str(&format!(
+                ",\"panic_attempts\":{}",
+                self.poison.panic_attempts
+            ));
+        }
+        if self.poison.hang_attempts > 0 {
+            s.push_str(&format!(",\"hang_attempts\":{}", self.poison.hang_attempts));
+        }
+        s.push('}');
+        s
+    }
+
+    /// Decodes a cell from its parsed JSON object.
+    pub fn from_json(v: &Json) -> Result<CellSpec, String> {
+        let name = v
+            .get("benchmark")
+            .and_then(Json::as_str)
+            .ok_or("cell: missing \"benchmark\"")?;
+        let benchmark =
+            Benchmark::from_str(name).map_err(|_| format!("cell: unknown benchmark {name:?}"))?;
+        let config = ConfigSpec::parse(
+            v.get("config")
+                .and_then(Json::as_str)
+                .ok_or("cell: missing \"config\"")?,
+        )?;
+        let faults = match (v.get("faults_seed"), v.get("faults_permille")) {
+            (None, None) => None,
+            (Some(seed), Some(pm)) => Some((
+                seed.as_u64().ok_or("cell: bad faults_seed")?,
+                pm.as_u64().ok_or("cell: bad faults_permille")? as u32,
+            )),
+            _ => return Err("cell: faults_seed and faults_permille go together".into()),
+        };
+        Ok(CellSpec {
+            benchmark,
+            config,
+            faults,
+            poison: Poison {
+                panic_attempts: v.u64_or("panic_attempts", 0)? as u32,
+                hang_attempts: v.u64_or("hang_attempts", 0)? as u32,
+            },
+        })
+    }
+}
+
+/// A full sweep request: the run window, supervision policy, and the
+/// cell grid. This is the payload of the protocol's `sweep` op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// Warm-up instructions per cell (counters reset afterwards).
+    pub warmup: u64,
+    /// Measured instructions per cell.
+    pub measure: u64,
+    /// Workload generation seed (shared by all cells).
+    pub seed: u64,
+    /// Per-cell cycle watchdog.
+    pub budget: CellBudget,
+    /// Retry/backoff policy.
+    pub policy: RetryPolicy,
+    /// The cells to run.
+    pub cells: Vec<CellSpec>,
+    /// Supervisor-level chaos injection (daemon must allow it).
+    pub chaos: ChaosPlan,
+    /// Bypass the result cache (reference runs).
+    pub no_cache: bool,
+}
+
+impl SweepRequest {
+    /// A request with default policy/budget over `cells`.
+    pub fn new(warmup: u64, measure: u64, seed: u64, cells: Vec<CellSpec>) -> SweepRequest {
+        SweepRequest {
+            warmup,
+            measure,
+            seed,
+            budget: CellBudget::default(),
+            policy: RetryPolicy::default(),
+            cells,
+            chaos: ChaosPlan::default(),
+            no_cache: false,
+        }
+    }
+
+    /// Encodes the request as one protocol line (newline-terminated).
+    pub fn to_json_line(&self) -> String {
+        let cells: Vec<String> = self.cells.iter().map(CellSpec::to_json).collect();
+        let mut s = format!(
+            "{{\"op\":\"sweep\",\"warmup\":{},\"measure\":{},\"seed\":{},\
+             \"budget_cpi\":{},\"budget_floor\":{},\
+             \"max_attempts\":{},\"backoff_base_ms\":{},\"backoff_cap_ms\":{},\"backoff_seed\":{},\
+             \"cells\":[{}]",
+            self.warmup,
+            self.measure,
+            self.seed,
+            self.budget.cycles_per_instruction,
+            self.budget.floor,
+            self.policy.max_attempts,
+            self.policy.backoff_base_ms,
+            self.policy.backoff_cap_ms,
+            self.policy.backoff_seed,
+            cells.join(",")
+        );
+        if self.no_cache {
+            s.push_str(",\"no_cache\":true");
+        }
+        if !self.chaos.is_empty() {
+            let kills: Vec<String> = self
+                .chaos
+                .kill_worker
+                .iter()
+                .map(|(cell, attempt)| format!("[{cell},{attempt}]"))
+                .collect();
+            let fails: Vec<String> = self
+                .chaos
+                .fail_cache_writes
+                .iter()
+                .map(usize::to_string)
+                .collect();
+            s.push_str(&format!(
+                ",\"chaos\":{{\"kill\":[{}],\"fail_writes\":[{}]}}",
+                kills.join(","),
+                fails.join(",")
+            ));
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Decodes a request from a parsed `sweep` op line.
+    pub fn from_json(v: &Json) -> Result<SweepRequest, String> {
+        let cells_json = v
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("sweep: missing \"cells\" array")?;
+        if cells_json.is_empty() {
+            return Err("sweep: empty cell grid".into());
+        }
+        let cells: Result<Vec<CellSpec>, String> =
+            cells_json.iter().map(CellSpec::from_json).collect();
+        let default_budget = CellBudget::default();
+        let default_policy = RetryPolicy::default();
+        let chaos = match v.get("chaos") {
+            None => ChaosPlan::default(),
+            Some(c) => {
+                let pairs = |key: &str| -> Result<Vec<(usize, u32)>, String> {
+                    c.get(key)
+                        .and_then(Json::as_arr)
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(|p| {
+                            let p = p.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                                format!("chaos: {key} entries are [cell,attempt] pairs")
+                            })?;
+                            Ok((
+                                p[0].as_u64().ok_or("chaos: bad cell index")? as usize,
+                                p[1].as_u64().ok_or("chaos: bad attempt")? as u32,
+                            ))
+                        })
+                        .collect()
+                };
+                let fail_writes: Result<Vec<usize>, String> = c
+                    .get("fail_writes")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|i| Ok(i.as_u64().ok_or("chaos: bad fail_writes index")? as usize))
+                    .collect();
+                ChaosPlan {
+                    kill_worker: pairs("kill")?,
+                    fail_cache_writes: fail_writes?,
+                }
+            }
+        };
+        Ok(SweepRequest {
+            warmup: v.u64_or("warmup", 40_000)?,
+            measure: v.u64_or("measure", 80_000)?,
+            seed: v.u64_or("seed", 1)?,
+            budget: CellBudget {
+                cycles_per_instruction: v
+                    .u64_or("budget_cpi", default_budget.cycles_per_instruction)?,
+                floor: v.u64_or("budget_floor", default_budget.floor)?,
+            },
+            policy: RetryPolicy {
+                max_attempts: v.u64_or("max_attempts", default_policy.max_attempts as u64)? as u32,
+                backoff_base_ms: v.u64_or("backoff_base_ms", default_policy.backoff_base_ms)?,
+                backoff_cap_ms: v.u64_or("backoff_cap_ms", default_policy.backoff_cap_ms)?,
+                backoff_seed: v.u64_or("backoff_seed", default_policy.backoff_seed)?,
+            },
+            cells: cells?,
+            chaos,
+            no_cache: v.get("no_cache").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_specs_round_trip() {
+        for spec in [
+            "baseline:64",
+            "precon:128:128",
+            "combined:64:32",
+            "unified:256:2:4096",
+        ] {
+            let parsed = ConfigSpec::parse(spec).unwrap();
+            assert_eq!(parsed.spec_string(), spec);
+            assert_eq!(ConfigSpec::parse(&parsed.spec_string()).unwrap(), parsed);
+        }
+        assert!(ConfigSpec::parse("warp:9").is_err());
+        assert!(ConfigSpec::parse("baseline").is_err());
+        assert!(ConfigSpec::parse("baseline:x").is_err());
+        assert!(ConfigSpec::parse("precon:64").is_err());
+    }
+
+    #[test]
+    fn spec_expands_to_expected_configs() {
+        let base = ConfigSpec::parse("baseline:64").unwrap().to_sim_config();
+        assert_eq!(base.trace_cache_entries, 64);
+        assert!(!base.engine.enabled);
+        let combined = ConfigSpec::parse("combined:128:32")
+            .unwrap()
+            .to_sim_config();
+        assert!(combined.preprocess && combined.engine.enabled);
+        assert_eq!(combined.engine.buffer_entries, 32);
+    }
+
+    #[test]
+    fn sweep_request_round_trips_through_json() {
+        let mut req = SweepRequest::new(
+            2_000,
+            4_000,
+            7,
+            vec![
+                CellSpec::new(Benchmark::Compress, ConfigSpec::Baseline(64)),
+                CellSpec {
+                    benchmark: Benchmark::Gcc,
+                    config: ConfigSpec::Precon(64, 32),
+                    faults: Some((9, 40)),
+                    poison: Poison {
+                        panic_attempts: 2,
+                        hang_attempts: 1,
+                    },
+                },
+            ],
+        );
+        req.policy.max_attempts = 5;
+        req.chaos.kill_worker.push((1, 2));
+        req.chaos.fail_cache_writes.push(0);
+        req.no_cache = true;
+        let line = req.to_json_line();
+        let parsed = SweepRequest::from_json(&Json::parse(line.trim()).unwrap()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn fingerprints_separate_content() {
+        let a = CellSpec::new(Benchmark::Compress, ConfigSpec::Baseline(64));
+        let b = CellSpec::new(Benchmark::Compress, ConfigSpec::Baseline(128));
+        let c = CellSpec::new(Benchmark::Gcc, ConfigSpec::Baseline(64));
+        let fp = |cell: &CellSpec| cell.fingerprint(1000, 2000, 1);
+        assert_eq!(fp(&a), fp(&a.clone()), "deterministic");
+        assert_ne!(fp(&a), fp(&b), "config matters");
+        assert_ne!(fp(&a), fp(&c), "benchmark matters");
+        assert_ne!(
+            fp(&a),
+            a.fingerprint(1000, 2000, 2),
+            "workload seed matters"
+        );
+        assert_ne!(fp(&a), a.fingerprint(1001, 2000, 1), "window matters");
+        let mut faulted = a.clone();
+        faulted.faults = Some((3, 40));
+        assert_ne!(fp(&a), fp(&faulted), "fault plan matters");
+        let mut poisoned = a.clone();
+        poisoned.poison.panic_attempts = 1;
+        assert_ne!(fp(&a), fp(&poisoned), "poison never aliases clean results");
+    }
+}

@@ -66,4 +66,13 @@ rm /tmp/analysis.j1.md /tmp/analysis.j4.md /tmp/analysis.j1.json
 echo "== bench_throughput --quick =="
 cargo run -p tpc-experiments --release --offline --bin bench_throughput -- --quick
 
+echo "== sweep-service chaos gate (daemon kill/retry/memoize vs serial reference) =="
+# Spawns real tpc_service daemons and attacks them: poison cells that
+# panic/hang, a worker killed mid-cell, an injected cache-write
+# failure, a SIGKILL'd daemon restarted on a torn cache file. Merged
+# results must stay bit-identical to a clean serial run_cells
+# reference; permanent failures must degrade into the error manifest.
+cargo build -p tpc-service --release --offline
+cargo run -p tpc-service --release --offline --bin chaos_service -- --quick
+
 echo "verify: OK"
