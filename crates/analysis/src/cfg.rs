@@ -12,7 +12,7 @@
 //! covering every function entry) and natural-loop back edges are
 //! computed on the same graph.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use tpc_isa::{Addr, Op, OpClass, Program};
 
 /// One basic block: a maximal straight-line run of instructions.
@@ -413,7 +413,7 @@ impl Cfg {
 
 /// Per-address operation lookup table used by enumeration (avoids
 /// re-deriving classifications in inner loops).
-pub(crate) fn op_table(program: &Program) -> HashMap<u32, Op> {
+pub(crate) fn op_table(program: &Program) -> BTreeMap<u32, Op> {
     program.iter().map(|(a, op)| (a.word(), *op)).collect()
 }
 

@@ -29,7 +29,7 @@
 //! vacuously — an unexplored program can suppress a detection but can
 //! never produce a false divergence.
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use tpc_core::{
     EngineActivity, PushResult, Resolution, StartReason, Trace, TraceBuilder, TraceKey,
     ALIGN_QUANTUM,
@@ -63,7 +63,7 @@ pub struct StaticEnumeration {
     /// Whether an exploration budget was exhausted; when set,
     /// start-containment checks accept every address.
     saturated: bool,
-    ops: HashMap<u32, Op>,
+    ops: BTreeMap<u32, Op>,
     code_len: u32,
 }
 
@@ -374,7 +374,7 @@ impl StaticEnumeration {
 pub struct BiasedEnumeration {
     /// Distinct trace keys reachable by constructor rules under the
     /// profile's static branch bias.
-    pub trace_keys: HashSet<TraceKey>,
+    pub trace_keys: BTreeSet<TraceKey>,
     /// Start addresses explored (push points plus discovered
     /// successors).
     pub starts_explored: usize,
@@ -392,7 +392,7 @@ pub struct BiasedEnumeration {
 pub fn enumerate_biased(program: &Program, max_keys: usize) -> BiasedEnumeration {
     let ops = op_table(program);
     let code_len = program.len() as u32;
-    let bias: HashMap<u32, StaticBias> = tpc_workloads::program_bias(program)
+    let bias: BTreeMap<u32, StaticBias> = tpc_workloads::program_bias(program)
         .into_iter()
         .map(|(a, b)| (a.word(), b))
         .collect();
@@ -410,7 +410,7 @@ pub fn enumerate_biased(program: &Program, max_keys: usize) -> BiasedEnumeration
         }
     }
 
-    let mut trace_keys: HashSet<TraceKey> = HashSet::new();
+    let mut trace_keys: BTreeSet<TraceKey> = BTreeSet::new();
     let mut explored: BTreeSet<u32> = seeds.clone();
     let mut worklist: VecDeque<u32> = seeds.into_iter().collect();
     let mut steps = 0u64;
@@ -498,7 +498,7 @@ pub fn enumerate_biased(program: &Program, max_keys: usize) -> BiasedEnumeration
 /// Records a completed trace and queues its successor for region
 /// continuation.
 fn record(
-    keys: &mut HashSet<TraceKey>,
+    keys: &mut BTreeSet<TraceKey>,
     explored: &mut BTreeSet<u32>,
     worklist: &mut VecDeque<u32>,
     trace: &Trace,

@@ -20,7 +20,7 @@ use crate::faults::EngineFault;
 use crate::start_stack::{StartPointStack, StartReason};
 use crate::storage::TraceStore;
 use crate::trace::Trace;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use tpc_isa::{Addr, Op, OpClass, Program};
 use tpc_mem::{AccessKind, InstrCache, PrefetchCache};
 use tpc_predict::{Bimodal, TraceKey};
@@ -162,7 +162,7 @@ struct Region {
     start: Addr,
     prefetch: PrefetchCache,
     worklist: VecDeque<Addr>,
-    seen: HashSet<Addr>,
+    seen: BTreeSet<Addr>,
     /// Line address a constructor is stalled on.
     want_line: Option<Addr>,
     /// In-flight line fetch: (address, cycle it arrives).
@@ -184,7 +184,7 @@ pub struct PreconEngine {
     stalls: Vec<u32>,
     next_region_id: u64,
     stats: EngineStats,
-    built_keys: HashSet<u64>,
+    built_keys: BTreeSet<u64>,
     activity: Vec<EngineActivity>,
 }
 
@@ -205,7 +205,7 @@ impl PreconEngine {
             stalls: vec![0; config.constructors],
             next_region_id: 1,
             stats: EngineStats::default(),
-            built_keys: HashSet::new(),
+            built_keys: BTreeSet::new(),
             activity: Vec::new(),
             config,
         }
@@ -399,7 +399,7 @@ impl PreconEngine {
                 }
                 _ => vec![sp.addr],
             };
-            let seen: HashSet<Addr> = seeds.iter().copied().collect();
+            let seen: BTreeSet<Addr> = seeds.iter().copied().collect();
             *slot = Some(Region {
                 id: self.next_region_id,
                 start: sp.addr,

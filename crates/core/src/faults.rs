@@ -369,4 +369,36 @@ mod tests {
         }
         assert_eq!(seen, FAULTS_ALL);
     }
+
+    /// Pins `FaultKind` ↔ `FaultStats` exhaustiveness at runtime, the
+    /// same invariant the `conf-faultkind` lint rule checks
+    /// statically: every variant has a distinct slot in both per-kind
+    /// counter arrays, `ALL` enumerates each variant exactly once in
+    /// discriminant order, and `note` lands each kind in its own
+    /// counters with no cross-talk.
+    #[test]
+    fn fault_kind_and_fault_stats_are_exhaustive() {
+        assert_eq!(FaultKind::ALL.len(), NUM_FAULT_KINDS);
+        for (i, kind) in FaultKind::ALL.iter().enumerate() {
+            assert_eq!(*kind as usize, i, "ALL must be in discriminant order");
+        }
+        let stats = FaultStats::default();
+        assert_eq!(stats.injected_by_kind.len(), NUM_FAULT_KINDS);
+        assert_eq!(stats.landed_by_kind.len(), NUM_FAULT_KINDS);
+        let mut names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_FAULT_KINDS, "names must be unique");
+        // `note` for one kind must touch exactly that kind's slots.
+        let mut s = FaultState::new(FaultPlan::all(7, 0));
+        for kind in FaultKind::ALL {
+            s.note(kind, true);
+        }
+        for kind in FaultKind::ALL {
+            assert_eq!(s.stats().injected_by_kind[kind as usize], 1);
+            assert_eq!(s.stats().landed_by_kind[kind as usize], 1);
+        }
+        assert_eq!(s.stats().injected, NUM_FAULT_KINDS as u64);
+        assert_eq!(s.stats().landed, NUM_FAULT_KINDS as u64);
+    }
 }

@@ -2,7 +2,7 @@
 //! constructor count, prefetch-cache capacity, decision depth).
 //!
 //! Usage: `cargo run -p tpc-experiments --release --bin ablations --
-//! [--warmup N] [--measure N] [--seed N] [--quick]`
+//! [--warmup N] [--measure N] [--seed N] [--jobs N] [--quick]`
 
 use tpc_experiments::{ablations, RunParams};
 use tpc_workloads::Benchmark;

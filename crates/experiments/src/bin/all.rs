@@ -2,7 +2,7 @@
 //! report (Figure 5, Tables 1-3, Figure 6, Figure 8, ablations).
 //!
 //! Usage: `cargo run -p tpc-experiments --release --bin all --
-//! [--warmup N] [--measure N] [--seed N] [--quick]`
+//! [--warmup N] [--measure N] [--seed N] [--jobs N] [--quick]`
 
 use tpc_experiments::{
     ablations, bias_sweep, coverage, cpi_stack, fig5, fig6, fig8, predictors, tables,

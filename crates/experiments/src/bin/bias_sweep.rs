@@ -2,7 +2,7 @@
 //! of strongly-biased branches (the go ↔ vortex axis).
 //!
 //! Usage: `cargo run -p tpc-experiments --release --bin bias_sweep --
-//! [--warmup N] [--measure N] [--seed N] [--quick]`
+//! [--warmup N] [--measure N] [--seed N] [--jobs N] [--quick]`
 
 use tpc_experiments::{bias_sweep, RunParams};
 

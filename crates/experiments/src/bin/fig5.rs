@@ -2,7 +2,7 @@
 //! benchmarks across trace-cache / preconstruction-buffer sizes.
 //!
 //! Usage: `cargo run -p tpc-experiments --release --bin fig5 --
-//! [--warmup N] [--measure N] [--seed N] [--quick]`
+//! [--warmup N] [--measure N] [--seed N] [--jobs N] [--quick]`
 
 use tpc_experiments::{fig5, RunParams};
 use tpc_workloads::Benchmark;

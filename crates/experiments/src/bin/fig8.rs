@@ -2,7 +2,7 @@
 //! (preconstruction x preprocessing) for gcc, go, perl and vortex.
 //!
 //! Usage: `cargo run -p tpc-experiments --release --bin fig8 --
-//! [--warmup N] [--measure N] [--seed N] [--quick]`
+//! [--warmup N] [--measure N] [--seed N] [--jobs N] [--quick]`
 
 use tpc_experiments::{fig8, RunParams};
 use tpc_workloads::Benchmark;

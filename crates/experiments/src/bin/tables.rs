@@ -2,7 +2,7 @@
 //! preconstruction, for gcc and go.
 //!
 //! Usage: `cargo run -p tpc-experiments --release --bin tables --
-//! [--warmup N] [--measure N] [--seed N] [--quick]`
+//! [--warmup N] [--measure N] [--seed N] [--jobs N] [--quick]`
 
 use tpc_experiments::{tables, RunParams};
 use tpc_workloads::Benchmark;

@@ -2,7 +2,7 @@
 //! footprint, trace working set, branch statistics.
 //!
 //! Usage: `cargo run -p tpc-experiments --release --bin workloads --
-//! [--measure N] [--seed N]`
+//! [--measure N] [--seed N] [--jobs N]`
 
 use tpc_experiments::{workload_stats, RunParams};
 use tpc_workloads::Benchmark;

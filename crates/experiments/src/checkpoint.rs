@@ -134,6 +134,7 @@ impl SweepCheckpoint {
                     // line overwrites the earlier entry.
                     if let Some((i, stats)) = parse_cell(line) {
                         if i < cell_count {
+                            // bound: i < cell_count checked above
                             prior[i] = Some(stats);
                         }
                     }
@@ -205,7 +206,9 @@ pub fn parse_keyed_words(line: &str, key: &str) -> Option<(u64, SimStats)> {
     }
     let id = field_u64(line, &format!("\"{key}\":"))?;
     let open = line.find("\"words\":[")? + "\"words\":[".len();
+    // bound: open <= len, find() returned Some
     let close = line[open..].find(']')? + open;
+    // bound: open <= close <= len from the finds above
     let words: Option<Vec<u64>> = line[open..close]
         .split(',')
         .map(|w| w.trim().parse().ok())
@@ -220,10 +223,12 @@ fn invalid(message: String) -> io::Error {
 /// Extracts the run of digits following `"key":` in a JSON line.
 fn field_u64(line: &str, key: &str) -> Option<u64> {
     let at = line.find(key)? + key.len();
+    // bound: find() guarantees at <= len
     let rest = &line[at..];
     let end = rest
         .find(|c: char| !c.is_ascii_digit())
         .unwrap_or(rest.len());
+    // bound: end <= rest.len() by unwrap_or
     rest[..end].parse().ok()
 }
 

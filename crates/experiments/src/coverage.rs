@@ -25,7 +25,7 @@
 //! preconstructor only builds what the lattice of region start points
 //! reaches during execution.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::par_sweep::{effective_jobs, par_map};
 use crate::report::{f1, markdown_table};
@@ -105,7 +105,7 @@ fn measure(benchmark: Benchmark, params: RunParams) -> CoverageRow {
     // over the same instruction window the simulations use.
     let window = params.warmup + params.measure;
     let mut stream = TraceStream::new(&program);
-    let mut dynamic: HashSet<TraceKey> = HashSet::new();
+    let mut dynamic: BTreeSet<TraceKey> = BTreeSet::new();
     while stream.retired() < window {
         dynamic.insert(stream.next_trace().trace.key());
     }

@@ -198,6 +198,7 @@ where
                         if i >= items.len() {
                             break;
                         }
+                        // bound: i < items.len() checked above
                         produced.push((i, call(&items[i])));
                     }
                     produced
@@ -210,6 +211,7 @@ where
         for worker in workers {
             if let Ok(produced) = worker.join() {
                 for (i, r) in produced {
+                    // bound: i came from the shared counter, capped at items.len()
                     results[i] = Some(r);
                 }
             }

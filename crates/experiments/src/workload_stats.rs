@@ -10,7 +10,7 @@
 use crate::par_sweep::{effective_jobs, par_map};
 use crate::report::{f1, markdown_table};
 use crate::runner::RunParams;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use tpc_isa::OpClass;
 use tpc_processor::TraceStream;
 use tpc_workloads::stats::static_stats;
@@ -57,8 +57,8 @@ pub fn run(benchmarks: &[Benchmark], window: u64, params: RunParams) -> Vec<Work
         let program = WorkloadBuilder::new(benchmark).seed(params.seed).build();
         let sstats = static_stats(&program);
         let mut stream = TraceStream::new(&program);
-        let mut touched = HashSet::new();
-        let mut traces = HashSet::new();
+        let mut touched = BTreeSet::new();
+        let mut traces = BTreeSet::new();
         let mut trace_count = 0u64;
         let mut branches = 0u64;
         let mut taken = 0u64;

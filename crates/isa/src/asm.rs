@@ -38,7 +38,7 @@
 
 use crate::model::{IndirectModel, OutcomeModel};
 use crate::{Addr, BranchCond, Op, Program, ProgramBuilder, Reg};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Error from assembling a program, with its 1-based source line.
@@ -235,7 +235,7 @@ fn parse_targets(annot: &str, line: usize) -> Result<Vec<(String, u32)>, AsmErro
 /// unknown mnemonics/labels, missing branch annotations, or when the
 /// assembled program fails [`Program`] validation.
 pub fn assemble(source: &str) -> Result<Program, AsmError> {
-    let mut labels: HashMap<String, Addr> = HashMap::new();
+    let mut labels: BTreeMap<String, Addr> = BTreeMap::new();
     let mut pendings: Vec<(usize, Pending)> = Vec::new();
 
     for (lineno, raw) in source.lines().enumerate() {

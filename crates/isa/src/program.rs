@@ -2,7 +2,7 @@
 
 use crate::model::{IndirectModel, OutcomeModel};
 use crate::{Addr, Op};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Metadata for one function in a generated program.
@@ -25,8 +25,8 @@ pub struct FunctionInfo {
 pub struct Program {
     code: Vec<Op>,
     entry: Addr,
-    branch_models: HashMap<u32, OutcomeModel>,
-    indirect_models: HashMap<u32, IndirectModel>,
+    branch_models: BTreeMap<u32, OutcomeModel>,
+    indirect_models: BTreeMap<u32, IndirectModel>,
     functions: Vec<FunctionInfo>,
 }
 
@@ -189,8 +189,8 @@ impl std::error::Error for ProgramError {}
 pub struct ProgramBuilder {
     code: Vec<Op>,
     entry: Addr,
-    branch_models: HashMap<u32, OutcomeModel>,
-    indirect_models: HashMap<u32, IndirectModel>,
+    branch_models: BTreeMap<u32, OutcomeModel>,
+    indirect_models: BTreeMap<u32, IndirectModel>,
     functions: Vec<FunctionInfo>,
 }
 

@@ -1,0 +1,186 @@
+//! The checked-in suppression list.
+//!
+//! Format (`lint_allow.txt` at the workspace root), one entry per
+//! line:
+//!
+//! ```text
+//! rule-id | path/to/file.rs | needle substring | justification text
+//! ```
+//!
+//! An entry suppresses a finding when the rule id and file match
+//! exactly and the finding's source-line excerpt contains the
+//! needle. Three properties keep the list honest:
+//!
+//! * the justification field is **mandatory** — an empty fourth
+//!   field is a parse error, so every suppression carries a written
+//!   reason;
+//! * an entry that matches **no** finding is a hard error ("stale"),
+//!   so fixed code can't leave silent suppressions behind;
+//! * matching is per-finding, so one entry can cover several hits of
+//!   the same idiom in one file, but never a different rule or file.
+
+use crate::report::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Rule id this entry suppresses.
+    pub rule: String,
+    /// Workspace-relative file the suppression applies to.
+    pub file: String,
+    /// Substring that must appear in the finding's excerpt.
+    pub needle: String,
+    /// Written reason — mandatory, printed by the verify gate.
+    pub justification: String,
+    /// 1-based line in the allowlist file (for stale reporting).
+    pub line: u32,
+}
+
+/// Parses the allowlist text.
+///
+/// # Errors
+///
+/// Malformed lines (wrong field count, empty rule/file/needle, or a
+/// missing justification) with their line numbers.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = (i + 1) as u32;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.splitn(4, '|').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(format!(
+                "lint_allow.txt:{line}: expected `rule | file | needle | justification`"
+            ));
+        }
+        // bound: fields.len() == 4 checked above
+        let (rule, file, needle, justification) = (fields[0], fields[1], fields[2], fields[3]);
+        if rule.is_empty() || file.is_empty() || needle.is_empty() {
+            return Err(format!(
+                "lint_allow.txt:{line}: empty rule/file/needle field"
+            ));
+        }
+        if justification.is_empty() {
+            return Err(format!(
+                "lint_allow.txt:{line}: justification is mandatory — say why this is safe"
+            ));
+        }
+        entries.push(Entry {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            needle: needle.to_string(),
+            justification: justification.to_string(),
+            line,
+        });
+    }
+    Ok(entries)
+}
+
+/// Splits findings into (open, allowlisted) and reports stale
+/// entries that matched nothing.
+pub fn apply(findings: Vec<Finding>, entries: &[Entry]) -> Applied {
+    let mut open = Vec::new();
+    let mut allowlisted = Vec::new();
+    let mut used = vec![false; entries.len()];
+    for f in findings {
+        let hit = entries
+            .iter()
+            .position(|e| e.rule == f.rule && e.file == f.file && f.excerpt.contains(&e.needle));
+        match hit {
+            Some(i) => {
+                // bound: position() returns an index < entries.len()
+                used[i] = true;
+                allowlisted.push(f);
+            }
+            None => open.push(f),
+        }
+    }
+    let stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    Applied {
+        open,
+        allowlisted,
+        stale,
+    }
+}
+
+/// Result of matching findings against the allowlist.
+pub struct Applied {
+    /// Findings no entry suppressed — these fail the gate.
+    pub open: Vec<Finding>,
+    /// Findings an entry suppressed.
+    pub allowlisted: Vec<Finding>,
+    /// Entries that suppressed nothing — these also fail the gate.
+    pub stale: Vec<Entry>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, excerpt: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            msg: String::new(),
+            excerpt: excerpt.into(),
+        }
+    }
+
+    #[test]
+    fn parses_and_matches() {
+        let entries = parse(
+            "# comment\n\
+             det-wall-clock | a.rs | Instant::now | timing is the measurement\n",
+        )
+        .unwrap();
+        assert_eq!(entries.len(), 1);
+        let a = apply(
+            vec![
+                finding("det-wall-clock", "a.rs", "let t = Instant::now();"),
+                finding("det-wall-clock", "b.rs", "let t = Instant::now();"),
+            ],
+            &entries,
+        );
+        assert_eq!(a.allowlisted.len(), 1);
+        assert_eq!(a.open.len(), 1);
+        assert!(a.stale.is_empty());
+    }
+
+    #[test]
+    fn justification_is_mandatory() {
+        assert!(parse("r | f.rs | needle |\n").is_err());
+        assert!(parse("r | f.rs | needle\n").is_err());
+        assert!(parse("r | f.rs | | why\n").is_err());
+    }
+
+    #[test]
+    fn unmatched_entries_are_stale() {
+        let entries = parse("panic-path | gone.rs | unwrap | fixed long ago\n").unwrap();
+        let a = apply(Vec::new(), &entries);
+        assert_eq!(a.stale.len(), 1);
+        assert_eq!(a.stale[0].file, "gone.rs");
+    }
+
+    #[test]
+    fn one_entry_covers_repeated_idiom_in_one_file() {
+        let entries = parse("p | f.rs | v[i] | index checked by loop bound\n").unwrap();
+        let a = apply(
+            vec![
+                finding("p", "f.rs", "x = v[i];"),
+                finding("p", "f.rs", "y = v[i] + 1;"),
+            ],
+            &entries,
+        );
+        assert_eq!(a.allowlisted.len(), 2);
+        assert!(a.open.is_empty());
+    }
+}

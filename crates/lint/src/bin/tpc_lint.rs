@@ -1,0 +1,125 @@
+//! The static-analysis gate.
+//!
+//! ```text
+//! tpc_lint [--root DIR] [--json PATH] [--list-allow]
+//! ```
+//!
+//! Scans every production source file in the workspace (found by
+//! walking up from `--root` or the current directory), runs all lint
+//! rules, matches findings against `lint_allow.txt`, and:
+//!
+//! * prints a human report of unallowlisted findings and stale
+//!   allowlist entries;
+//! * with `--json PATH`, writes per-rule open/allowlisted counts and
+//!   the full finding list (the `BENCH_lint.json` artifact);
+//! * with `--list-allow`, prints every allowlist entry with its
+//!   mandatory justification (the verify gate shows this);
+//! * exits 0 only when there are zero unallowlisted findings and
+//!   zero stale allowlist entries — 1 on findings, 2 on usage or
+//!   internal errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tpc_lint::allowlist;
+use tpc_lint::report;
+use tpc_lint::rules;
+use tpc_lint::workspace::{find_root, Workspace};
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("tpc_lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<bool, String> {
+    let mut root_arg: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut list_allow = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => root_arg = Some(PathBuf::from(it.next().ok_or("--root needs DIR")?)),
+            "--json" => json_path = Some(PathBuf::from(it.next().ok_or("--json needs PATH")?)),
+            "--list-allow" => list_allow = true,
+            "--help" | "-h" => {
+                println!("usage: tpc_lint [--root DIR] [--json PATH] [--list-allow]");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let start = root_arg.unwrap_or(std::env::current_dir().map_err(|e| e.to_string())?);
+    let root = find_root(&start).ok_or_else(|| {
+        format!(
+            "no workspace root (Cargo.toml + crates/) at or above {}",
+            start.display()
+        )
+    })?;
+
+    let ws = Workspace::load(&root)?;
+    let findings = rules::run_all(&ws);
+    let entries = load_allowlist(&root)?;
+    let applied = allowlist::apply(findings, &entries);
+
+    if list_allow {
+        println!("allowlist ({} entries):", entries.len());
+        for e in &entries {
+            println!(
+                "  [{}] {} `{}` — {}",
+                e.rule, e.file, e.needle, e.justification
+            );
+        }
+        println!();
+    }
+
+    if let Some(path) = &json_path {
+        let json = report::render_json(
+            rules::RULE_IDS,
+            &applied.open,
+            &applied.allowlisted,
+            ws.files.len(),
+        );
+        std::fs::write(path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+
+    let clean = applied.open.is_empty() && applied.stale.is_empty();
+    if !applied.open.is_empty() {
+        print!("{}", report::render_human(&applied.open));
+        println!();
+    }
+    for s in &applied.stale {
+        println!(
+            "stale allowlist entry (lint_allow.txt:{}): [{}] {} `{}` matches nothing — remove it",
+            s.line, s.rule, s.file, s.needle
+        );
+    }
+    println!(
+        "tpc_lint: {} files, {} open finding(s), {} allowlisted, {} stale allowlist entr(ies) — {}",
+        ws.files.len(),
+        applied.open.len(),
+        applied.allowlisted.len(),
+        applied.stale.len(),
+        if clean { "OK" } else { "FAIL" }
+    );
+    Ok(clean)
+}
+
+fn load_allowlist(root: &Path) -> Result<Vec<allowlist::Entry>, String> {
+    let path = root.join("lint_allow.txt");
+    if !path.is_file() {
+        return Ok(Vec::new());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    allowlist::parse(&text)
+}

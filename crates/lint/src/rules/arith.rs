@@ -1,0 +1,98 @@
+//! Arithmetic discipline in the per-cycle hot path.
+//!
+//! `hot-arith` scans the simulator's per-cycle functions — the code
+//! that runs hundreds of millions of times per sweep — for `as`
+//! casts to a narrower integer type. A narrowing cast silently
+//! truncates; inside the hot path every one must either be rewritten
+//! as an explicit masked/wrapping operation or carry a
+//! `// narrow: …` comment proving the value fits. (Widening casts
+//! and `as usize` for indexing are exact and stay unflagged.)
+
+use crate::report::Finding;
+use crate::rules::{finding, for_each_seq};
+use crate::tree::fn_bodies;
+use crate::workspace::SourceFile;
+
+/// The per-cycle call graph of the simulator: `step` and everything
+/// it dispatches into each cycle.
+const HOT_FNS: &[&str] = &[
+    "step",
+    "apply_faults",
+    "retire_stage",
+    "fetch_stage",
+    "begin_slow_build",
+    "advance_slow_build",
+    "dispatch",
+];
+
+/// Integer types narrower than the repo's dominant `u64`/`usize`
+/// counters — casting down to these truncates.
+const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Runs the hot-path arithmetic rule (simulator.rs only).
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.rel != "crates/processor/src/simulator.rs" {
+        return;
+    }
+    for hot in HOT_FNS {
+        for (_, body) in fn_bodies(&file.trees, hot) {
+            for_each_seq(body, &mut |seq| {
+                for (i, t) in seq.iter().enumerate() {
+                    let narrow_cast = t.is_ident("as")
+                        && seq
+                            .get(i + 1)
+                            .is_some_and(|n| NARROW.iter().any(|ty| n.is_ident(ty)));
+                    if narrow_cast && !file.has_marker(t.line(), "narrow:") {
+                        out.push(finding(
+                            "hot-arith",
+                            file,
+                            t.line(),
+                            format!(
+                                "narrowing `as {}` in hot fn `{hot}` without `// narrow:` comment",
+                                seq.get(i + 1).map(|n| n.text()).unwrap_or(""),
+                            ),
+                        ));
+                    }
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::tree::{parse, strip_cfg_test};
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile {
+            rel: "crates/processor/src/simulator.rs".into(),
+            lines: src.lines().map(str::to_string).collect(),
+            trees: strip_cfg_test(parse(&lex(src).unwrap()).unwrap()),
+        };
+        let mut out = Vec::new();
+        check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_narrowing_casts_in_hot_fns_only() {
+        let f = run("fn step(&mut self) { let x = y as u8; }\nfn cold() { let x = y as u8; }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "hot-arith");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn widening_and_usize_casts_are_fine() {
+        let f = run("fn step(&mut self) { let x = y as u64; let i = z as usize; }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn narrow_comment_justifies() {
+        let f = run("fn step(&mut self) { let x = (y & 1) as u8; // narrow: masked to 1 bit\n }");
+        assert!(f.is_empty());
+    }
+}

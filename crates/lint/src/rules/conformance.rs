@@ -1,0 +1,724 @@
+//! Cross-file conformance rules.
+//!
+//! These extract facts from several files and compare them — the
+//! drift clippy can't see:
+//!
+//! * `conf-simstats-codec`: the `SimStats` struct, its `WORDS`
+//!   constant, and the `to_words` encoder must agree — the word
+//!   count summed from `to_words` (literal arrays plus the two
+//!   `NUM_FAULT_KINDS`-sized fault arrays) must equal `WORDS`, and
+//!   every struct field must appear in both `to_words` and
+//!   `from_words`.
+//! * `conf-faultkind`: `FaultKind` variants vs `NUM_FAULT_KINDS` vs
+//!   the `ALL` array vs `name()` vs the per-kind `FaultStats`
+//!   arrays vs the simulator's `apply_faults` match vs the
+//!   degradation experiment's all-kinds fault plan.
+//! * `conf-protocol`: ops the client/spec send must be exactly the
+//!   ops the server matches; events the server emits must be
+//!   exactly the events the client matches; reply ops the client
+//!   checks must be ones the server emits.
+//! * `conf-jobs-flag`: every experiment bin must expose and
+//!   document `--jobs`.
+
+use crate::lexer::{Tok, TokKind};
+use crate::report::Finding;
+use crate::rules::{finding, for_each_seq};
+use crate::tree::{fn_bodies, walk, Tree};
+use crate::workspace::{SourceFile, Workspace};
+
+/// Runs every conformance rule over the workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
+    simstats_codec(ws, out);
+    faultkind(ws, out);
+    protocol(ws, out);
+    jobs_flag(ws, out);
+}
+
+/// A finding that reports a broken extraction — the rule must fail
+/// loudly if the code it audits moves out from under it.
+fn broken(rule: &'static str, file: &SourceFile, msg: String) -> Finding {
+    finding(rule, file, 1, format!("extraction failed: {msg}"))
+}
+
+// ---- shared extraction helpers ----------------------------------
+
+/// All identifier texts in a forest.
+fn idents(trees: &[Tree]) -> Vec<String> {
+    let mut out = Vec::new();
+    walk(trees, &mut |t| {
+        if let Tree::Leaf(tok) = t {
+            if tok.kind == TokKind::Ident {
+                out.push(tok.text.clone());
+            }
+        }
+    });
+    out
+}
+
+/// The integer value of `const NAME … = <num>` anywhere in the file.
+fn const_value(file: &SourceFile, name: &str) -> Option<u64> {
+    let mut found = None;
+    for_each_seq(&file.trees, &mut |seq| {
+        for (i, t) in seq.iter().enumerate() {
+            if t.is_ident("const") && seq.get(i + 1).is_some_and(|n| n.is_ident(name)) {
+                for later in &seq[i + 2..] {
+                    if later.is_punct(";") {
+                        break;
+                    }
+                    if let Tree::Leaf(tok) = later {
+                        if tok.kind == TokKind::Num {
+                            found = tok.text.replace('_', "").parse().ok();
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    found
+}
+
+/// The body children of `<kw> <name> { … }` (struct or enum),
+/// searching nested groups.
+fn item_body<'t>(trees: &'t [Tree], kw: &str, name: &str) -> Option<&'t [Tree]> {
+    let mut found = None;
+    for_each_seq_ref(trees, &mut |seq| {
+        for (i, t) in seq.iter().enumerate() {
+            if t.is_ident(kw) && seq.get(i + 1).is_some_and(|n| n.is_ident(name)) {
+                for later in &seq[i + 2..] {
+                    if later.is_group('{') {
+                        found = Some(later.children());
+                        return;
+                    }
+                    if later.is_punct(";") {
+                        break;
+                    }
+                }
+            }
+        }
+    });
+    found
+}
+
+/// Like [`for_each_seq`] but usable when the closure needs to store
+/// borrowed slices from the forest.
+fn for_each_seq_ref<'t>(trees: &'t [Tree], f: &mut dyn FnMut(&'t [Tree])) {
+    f(trees);
+    for t in trees {
+        if let Tree::Group { children, .. } = t {
+            for_each_seq_ref(children, f);
+        }
+    }
+}
+
+/// Field names of a struct body: idents directly followed by `:`,
+/// skipping visibility and attributes, one per comma-separated
+/// entry.
+fn struct_fields(body: &[Tree]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut expecting = true;
+    let mut i = 0usize;
+    while i < body.len() {
+        // bound: i < body.len() guarded by the loop condition
+        let t = &body[i];
+        if t.is_punct(",") {
+            expecting = true;
+            i += 1;
+            continue;
+        }
+        if t.is_punct("#") {
+            i += 2; // attribute: `#` + bracket group
+            continue;
+        }
+        if expecting && !t.is_ident("pub") {
+            if let Tree::Leaf(tok) = t {
+                if tok.kind == TokKind::Ident && body.get(i + 1).is_some_and(|n| n.is_punct(":")) {
+                    out.push(tok.text.clone());
+                }
+            }
+            expecting = false;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Variant names of an enum body (skips attributes and `= <num>`
+/// discriminants).
+fn enum_variants(body: &[Tree]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut expecting = true;
+    let mut i = 0usize;
+    while i < body.len() {
+        // bound: i < body.len() guarded by the loop condition
+        let t = &body[i];
+        if t.is_punct(",") {
+            expecting = true;
+            i += 1;
+            continue;
+        }
+        if t.is_punct("#") {
+            i += 2; // attribute: `#` + bracket group
+            continue;
+        }
+        if expecting {
+            if let Tree::Leaf(tok) = t {
+                if tok.kind == TokKind::Ident {
+                    out.push(tok.text.clone());
+                }
+            }
+            expecting = false;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Decoded content of a string-literal token (quotes stripped,
+/// `\"` and `\\` unescaped; raw strings have their fences stripped).
+fn str_content(tok: &Tok) -> Option<String> {
+    match tok.kind {
+        TokKind::Str => {
+            let inner = tok.text.get(1..tok.text.len().saturating_sub(1))?;
+            Some(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+        }
+        TokKind::RawStr => {
+            let start = tok.text.find('"')? + 1;
+            let end = tok.text.rfind('"')?;
+            tok.text.get(start..end).map(str::to_string)
+        }
+        _ => None,
+    }
+}
+
+/// String-literal contents of every `Some("…")` pattern followed by
+/// `=>` or `|` — i.e. match arms over an optional string field.
+fn match_arm_strs(file: &SourceFile, preceded_by_eq: bool) -> Vec<String> {
+    let mut out = Vec::new();
+    for_each_seq(&file.trees, &mut |seq| {
+        for (i, t) in seq.iter().enumerate() {
+            if !t.is_ident("Some") {
+                continue;
+            }
+            let Some(arg) = seq.get(i + 1) else { continue };
+            if !arg.is_group('(') || arg.children().len() != 1 {
+                continue;
+            }
+            let Some(Tree::Leaf(tok)) = arg.children().first() else {
+                continue;
+            };
+            let Some(content) = str_content(tok) else {
+                continue;
+            };
+            let is_arm = seq
+                .get(i + 2)
+                .is_some_and(|n| n.is_punct("=>") || n.is_punct("|"));
+            let is_eq = i > 0 && seq[i - 1].is_punct("==");
+            let wanted = if preceded_by_eq {
+                is_eq
+            } else {
+                is_arm && !is_eq
+            };
+            if wanted {
+                out.push(content);
+            }
+        }
+    });
+    sort_dedup(out)
+}
+
+/// `key:"value"` occurrences embedded inside the file's string
+/// literals — the wire-format ops/events the code writes.
+fn embedded_values(file: &SourceFile, key: &str) -> Vec<String> {
+    let marker = format!("\"{key}\":\"");
+    let mut out = Vec::new();
+    walk(&file.trees, &mut |t| {
+        let Tree::Leaf(tok) = t else { return };
+        let Some(content) = str_content(tok) else {
+            return;
+        };
+        let mut rest = content.as_str();
+        while let Some(at) = rest.find(&marker) {
+            let tail = &rest[at + marker.len()..];
+            if let Some(end) = tail.find('"') {
+                out.push(tail[..end].to_string());
+                rest = &tail[end..];
+            } else {
+                break;
+            }
+        }
+    });
+    sort_dedup(out)
+}
+
+fn sort_dedup(mut v: Vec<String>) -> Vec<String> {
+    v.sort();
+    v.dedup();
+    v
+}
+
+// ---- conf-simstats-codec ----------------------------------------
+
+fn simstats_codec(ws: &Workspace, out: &mut Vec<Finding>) {
+    const RULE: &str = "conf-simstats-codec";
+    let Some(sim) = ws.get("crates/processor/src/simulator.rs") else {
+        return;
+    };
+    let Some(faults) = ws.get("crates/core/src/faults.rs") else {
+        return;
+    };
+    let Some(num_kinds) = const_value(faults, "NUM_FAULT_KINDS") else {
+        out.push(broken(
+            RULE,
+            faults,
+            "NUM_FAULT_KINDS const not found".into(),
+        ));
+        return;
+    };
+    let Some(words_const) = const_value(sim, "WORDS") else {
+        out.push(broken(RULE, sim, "SimStats::WORDS const not found".into()));
+        return;
+    };
+    let bodies = fn_bodies(&sim.trees, "to_words");
+    let Some((to_words_line, to_words)) = bodies.first().map(|(l, b)| (*l, *b)) else {
+        out.push(broken(RULE, sim, "fn to_words not found".into()));
+        return;
+    };
+    // Sum the encoder's word count: literal arrays contribute their
+    // element count, bare `w.extend(<array field>)` contributes
+    // NUM_FAULT_KINDS, `w.push` contributes one.
+    let mut total = 0u64;
+    for (i, t) in to_words.iter().enumerate() {
+        if !t.is_ident("w") || !to_words.get(i + 1).is_some_and(|n| n.is_punct(".")) {
+            continue;
+        }
+        let method = to_words.get(i + 2);
+        let Some(args) = to_words.get(i + 3).filter(|a| a.is_group('(')) else {
+            continue;
+        };
+        if method.is_some_and(|m| m.is_ident("push")) {
+            total += 1;
+        } else if method.is_some_and(|m| m.is_ident("extend")) {
+            match args.children().first() {
+                Some(arr) if arr.is_group('[') => {
+                    let commas = arr.children().iter().filter(|c| c.is_punct(",")).count() as u64;
+                    let trailing = arr.children().last().is_some_and(|c| c.is_punct(","));
+                    total += commas + u64::from(!trailing);
+                }
+                Some(_) => total += num_kinds,
+                None => {}
+            }
+        }
+    }
+    if total != words_const {
+        out.push(finding(
+            RULE,
+            sim,
+            to_words_line,
+            format!(
+                "to_words encodes {total} words but SimStats::WORDS is {words_const} \
+                 (with NUM_FAULT_KINDS = {num_kinds})"
+            ),
+        ));
+    }
+    // Every SimStats field must appear in both codec directions.
+    let Some(body) = item_body(&sim.trees, "struct", "SimStats") else {
+        out.push(broken(RULE, sim, "struct SimStats not found".into()));
+        return;
+    };
+    let fields = struct_fields(body);
+    if fields.is_empty() {
+        out.push(broken(
+            RULE,
+            sim,
+            "struct SimStats has no parsed fields".into(),
+        ));
+        return;
+    }
+    let to_ids = idents(to_words);
+    let from_ids = fn_bodies(&sim.trees, "from_words")
+        .first()
+        .map(|(_, b)| idents(b))
+        .unwrap_or_default();
+    if from_ids.is_empty() {
+        out.push(broken(RULE, sim, "fn from_words not found".into()));
+        return;
+    }
+    for field in fields {
+        for (dir, ids) in [("to_words", &to_ids), ("from_words", &from_ids)] {
+            if !ids.contains(&field) {
+                out.push(finding(
+                    RULE,
+                    sim,
+                    to_words_line,
+                    format!("SimStats field `{field}` is not encoded by {dir}"),
+                ));
+            }
+        }
+    }
+}
+
+// ---- conf-faultkind ---------------------------------------------
+
+fn faultkind(ws: &Workspace, out: &mut Vec<Finding>) {
+    const RULE: &str = "conf-faultkind";
+    let Some(faults) = ws.get("crates/core/src/faults.rs") else {
+        return;
+    };
+    let Some(body) = item_body(&faults.trees, "enum", "FaultKind") else {
+        out.push(broken(RULE, faults, "enum FaultKind not found".into()));
+        return;
+    };
+    let variants = enum_variants(body);
+    let Some(num_kinds) = const_value(faults, "NUM_FAULT_KINDS") else {
+        out.push(broken(
+            RULE,
+            faults,
+            "NUM_FAULT_KINDS const not found".into(),
+        ));
+        return;
+    };
+    if variants.len() as u64 != num_kinds {
+        out.push(finding(
+            RULE,
+            faults,
+            1,
+            format!(
+                "FaultKind has {} variants but NUM_FAULT_KINDS is {num_kinds}",
+                variants.len()
+            ),
+        ));
+    }
+    // The ALL array must name every variant.
+    let mut all_entries: Vec<String> = Vec::new();
+    for_each_seq(&faults.trees, &mut |seq| {
+        for (i, t) in seq.iter().enumerate() {
+            if t.is_ident("ALL") {
+                for later in &seq[i + 1..] {
+                    if later.is_punct(";") {
+                        break;
+                    }
+                    if later.is_group('[') && later.children().iter().any(|c| c.is_punct(",")) {
+                        let kids = later.children();
+                        for (j, k) in kids.iter().enumerate() {
+                            let named = k.is_punct("::")
+                                && j + 1 < kids.len()
+                                && matches!(&kids[j + 1], Tree::Leaf(tok)
+                                    if tok.kind == TokKind::Ident);
+                            if named {
+                                // bound: j + 1 < kids.len() checked above
+                                all_entries.push(kids[j + 1].text().to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    check_covers(RULE, faults, "FaultKind::ALL", &all_entries, &variants, out);
+    // name() and the simulator's apply_faults must match every kind.
+    let name_ids = fn_bodies(&faults.trees, "name")
+        .first()
+        .map(|(_, b)| idents(b))
+        .unwrap_or_default();
+    check_covers(RULE, faults, "FaultKind::name()", &name_ids, &variants, out);
+    // Per-kind counter arrays must be sized by NUM_FAULT_KINDS.
+    if let Some(stats_body) = item_body(&faults.trees, "struct", "FaultStats") {
+        let stats_src = idents(stats_body);
+        for arr in ["injected_by_kind", "landed_by_kind"] {
+            if !stats_src.contains(&arr.to_string()) {
+                out.push(finding(
+                    RULE,
+                    faults,
+                    1,
+                    format!("FaultStats is missing per-kind array `{arr}`"),
+                ));
+            }
+        }
+        let sized = stats_src.iter().filter(|s| *s == "NUM_FAULT_KINDS").count();
+        if sized < 2 {
+            out.push(finding(
+                RULE,
+                faults,
+                1,
+                "FaultStats per-kind arrays are not sized by NUM_FAULT_KINDS".to_string(),
+            ));
+        }
+    } else {
+        out.push(broken(RULE, faults, "struct FaultStats not found".into()));
+    }
+    if let Some(sim) = ws.get("crates/processor/src/simulator.rs") {
+        let apply_ids = fn_bodies(&sim.trees, "apply_faults")
+            .first()
+            .map(|(_, b)| idents(b))
+            .unwrap_or_default();
+        check_covers(RULE, sim, "apply_faults", &apply_ids, &variants, out);
+    }
+    // Chaos coverage: the degradation experiment must schedule every
+    // kind (FaultPlan::all), not a hand-picked subset.
+    if let Some(deg) = ws.get("crates/experiments/src/degradation.rs") {
+        let mut uses_all = false;
+        for_each_seq(&deg.trees, &mut |seq| {
+            for (i, t) in seq.iter().enumerate() {
+                if t.is_ident("FaultPlan")
+                    && seq.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                    && seq.get(i + 2).is_some_and(|n| n.is_ident("all"))
+                {
+                    uses_all = true;
+                }
+            }
+        });
+        if !uses_all {
+            out.push(finding(
+                RULE,
+                deg,
+                1,
+                "degradation experiment no longer sweeps all fault kinds (FaultPlan::all)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Emits a finding for every `variant` missing from `ids`.
+fn check_covers(
+    rule: &'static str,
+    file: &SourceFile,
+    what: &str,
+    ids: &[String],
+    variants: &[String],
+    out: &mut Vec<Finding>,
+) {
+    if ids.is_empty() {
+        out.push(broken(rule, file, format!("{what} not found")));
+        return;
+    }
+    for v in variants {
+        if !ids.contains(v) {
+            out.push(finding(
+                rule,
+                file,
+                1,
+                format!("{what} does not cover FaultKind::{v}"),
+            ));
+        }
+    }
+}
+
+// ---- conf-protocol ----------------------------------------------
+
+fn protocol(ws: &Workspace, out: &mut Vec<Finding>) {
+    const RULE: &str = "conf-protocol";
+    let (Some(spec), Some(client), Some(server)) = (
+        ws.get("crates/service/src/spec.rs"),
+        ws.get("crates/service/src/client.rs"),
+        ws.get("crates/service/src/server.rs"),
+    ) else {
+        return;
+    };
+    // Ops the client side puts on the wire vs ops the server
+    // dispatches on.
+    let mut sent_ops = embedded_values(client, "op");
+    sent_ops.extend(embedded_values(spec, "op"));
+    let sent_ops = sort_dedup(sent_ops);
+    let served_ops = match_arm_strs(server, false);
+    if sent_ops != served_ops {
+        out.push(finding(
+            RULE,
+            server,
+            1,
+            format!("ops sent by client/spec {sent_ops:?} != ops matched by server {served_ops:?}"),
+        ));
+    }
+    // Events the server emits vs events the client dispatches on.
+    let emitted_events = embedded_values(server, "event");
+    let handled_events = match_arm_strs(client, false);
+    if emitted_events != handled_events {
+        out.push(finding(
+            RULE,
+            client,
+            1,
+            format!(
+                "events emitted by server {emitted_events:?} != events matched by client \
+                 {handled_events:?}"
+            ),
+        ));
+    }
+    // Reply ops the client insists on must be ones the server emits.
+    let reply_ops = embedded_values(server, "op");
+    for checked in match_arm_strs(client, true) {
+        if !reply_ops.contains(&checked) {
+            out.push(finding(
+                RULE,
+                client,
+                1,
+                format!("client checks reply op {checked:?} that the server never emits"),
+            ));
+        }
+    }
+}
+
+// ---- conf-jobs-flag ---------------------------------------------
+
+fn jobs_flag(ws: &Workspace, out: &mut Vec<Finding>) {
+    for file in ws.with_prefix("crates/experiments/src/bin/") {
+        let mentions_jobs = file.lines.iter().any(|l| l.contains("--jobs"));
+        if !mentions_jobs {
+            out.push(finding(
+                "conf-jobs-flag",
+                file,
+                1,
+                "experiment bin does not expose/document --jobs".to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::tree::{parse, strip_cfg_test};
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.into(),
+            lines: src.lines().map(str::to_string).collect(),
+            trees: strip_cfg_test(parse(&lex(src).unwrap()).unwrap()),
+        }
+    }
+
+    #[test]
+    fn const_and_struct_extraction() {
+        let f = file(
+            "x.rs",
+            "pub const N: usize = 9;\npub struct S { pub a: u64, #[doc = \"d\"] pub b: [u64; N] }",
+        );
+        assert_eq!(const_value(&f, "N"), Some(9));
+        let body = item_body(&f.trees, "struct", "S").unwrap();
+        assert_eq!(struct_fields(body), ["a", "b"]);
+    }
+
+    #[test]
+    fn enum_variant_extraction_skips_discriminants() {
+        let f = file("x.rs", "enum E { #[doc = \"x\"] A = 0, B = 1, C, }");
+        let body = item_body(&f.trees, "enum", "E").unwrap();
+        assert_eq!(enum_variants(body), ["A", "B", "C"]);
+    }
+
+    #[test]
+    fn embedded_and_match_arm_strings() {
+        let f = file(
+            "x.rs",
+            "fn f(k: Option<&str>) { let m = \"{\\\"op\\\":\\\"ping\\\",\\\"event\\\":\\\"done\\\"}\";\n\
+             match k { Some(\"a\") | Some(\"b\") => {}, _ => {} }\n\
+             if k == Some(\"ok\") {} }",
+        );
+        assert_eq!(embedded_values(&f, "op"), ["ping"]);
+        assert_eq!(embedded_values(&f, "event"), ["done"]);
+        assert_eq!(match_arm_strs(&f, false), ["a", "b"]);
+        assert_eq!(match_arm_strs(&f, true), ["ok"]);
+    }
+
+    #[test]
+    fn word_count_mismatch_is_flagged() {
+        let sim = file(
+            "crates/processor/src/simulator.rs",
+            "pub struct SimStats { pub a: u64, pub faults: F }\n\
+             impl SimStats { pub const WORDS: usize = 5;\n\
+             pub fn to_words(&self) -> Vec<u64> { let mut w = Vec::new();\n\
+             w.extend([self.a]); w.extend(self.faults.injected_by_kind); w }\n\
+             pub fn from_words(words: &[u64]) -> Option<SimStats> { let a = 0; let faults = 0; None } }",
+        );
+        let faults = file(
+            "crates/core/src/faults.rs",
+            "pub const NUM_FAULT_KINDS: usize = 2;",
+        );
+        let ws = Workspace {
+            files: vec![sim, faults],
+        };
+        let mut out = Vec::new();
+        simstats_codec(&ws, &mut out);
+        // 1 (array) + 2 (by-kind) = 3 != 5.
+        assert!(
+            out.iter().any(|f| f.msg.contains("encodes 3 words")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn missing_codec_field_is_flagged() {
+        let sim = file(
+            "crates/processor/src/simulator.rs",
+            "pub struct SimStats { pub a: u64, pub b: u64 }\n\
+             impl SimStats { pub const WORDS: usize = 2;\n\
+             pub fn to_words(&self) -> Vec<u64> { let mut w = Vec::new(); w.extend([self.a, self.b]); w }\n\
+             pub fn from_words(words: &[u64]) -> Option<SimStats> { let a = 0; None } }",
+        );
+        let faults = file(
+            "crates/core/src/faults.rs",
+            "pub const NUM_FAULT_KINDS: usize = 2;",
+        );
+        let ws = Workspace {
+            files: vec![sim, faults],
+        };
+        let mut out = Vec::new();
+        simstats_codec(&ws, &mut out);
+        assert!(out
+            .iter()
+            .any(|f| f.msg.contains("`b` is not encoded by from_words")));
+        assert!(!out.iter().any(|f| f.msg.contains("`a` is not encoded")));
+    }
+
+    #[test]
+    fn protocol_drift_is_flagged() {
+        let spec = file(
+            "crates/service/src/spec.rs",
+            "fn f() -> String { \"{\\\"op\\\":\\\"sweep\\\"}\".into() }",
+        );
+        let client = file(
+            "crates/service/src/client.rs",
+            "fn f(k: Option<&str>) { let p = \"{\\\"op\\\":\\\"ping\\\"}\";\n\
+             match k { Some(\"cell\") => {}, _ => {} } }",
+        );
+        let server = file(
+            "crates/service/src/server.rs",
+            "fn f(k: Option<&str>) { match k { Some(\"ping\") | Some(\"sweep\") => {}, _ => {} }\n\
+             let e = \"{\\\"event\\\":\\\"cell\\\"}\"; let r = \"{\\\"op\\\":\\\"accepted\\\"}\"; }",
+        );
+        let ws = Workspace {
+            files: vec![spec, client, server],
+        };
+        let mut out = Vec::new();
+        protocol(&ws, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        // Now drift: server stops matching "sweep".
+        let server2 = file(
+            "crates/service/src/server.rs",
+            "fn f(k: Option<&str>) { match k { Some(\"ping\") => {}, _ => {} }\n\
+             let e = \"{\\\"event\\\":\\\"cell\\\"}\"; }",
+        );
+        let mut ws2 = ws;
+        ws2.files.pop();
+        ws2.files.push(server2);
+        let mut out2 = Vec::new();
+        protocol(&ws2, &mut out2);
+        assert!(out2.iter().any(|f| f.msg.contains("ops sent")));
+    }
+
+    #[test]
+    fn experiment_bins_must_mention_jobs() {
+        let good = file(
+            "crates/experiments/src/bin/fig5.rs",
+            "//! Usage: fig5 [--jobs N]\nfn main() {}",
+        );
+        let bad = file("crates/experiments/src/bin/fig9.rs", "fn main() {}");
+        let ws = Workspace {
+            files: vec![good, bad],
+        };
+        let mut out = Vec::new();
+        jobs_flag(&ws, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].file, "crates/experiments/src/bin/fig9.rs");
+    }
+}

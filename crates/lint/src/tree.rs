@@ -1,0 +1,322 @@
+//! Token trees over the lexer's flat stream: leaves plus bracketed
+//! groups for `()`, `[]`, `{}`.
+//!
+//! Rules operate on trees rather than raw tokens for two reasons:
+//!
+//! * **`#[cfg(test)]` stripping.** Test modules legitimately use
+//!   `HashSet`, `unwrap`, wall clocks and panics; production rules
+//!   must not see them. The tree walk recognises the exact shape
+//!   `#` `[cfg(test)]` followed by an optional second attribute run
+//!   and a `mod name { … }` (or `fn`/`impl` item) and drops it.
+//! * **Scope queries.** Conformance rules need "the tokens of
+//!   function `f` in file x.rs" or "the match arms inside this
+//!   block" — both are natural tree traversals and painful on a flat
+//!   stream.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A token tree: a single non-bracket token, or a bracketed group.
+#[derive(Debug, Clone)]
+pub enum Tree {
+    /// A single token (never one of `( ) [ ] { }`).
+    Leaf(Tok),
+    /// A bracketed group and the trees inside it.
+    Group {
+        /// Opening delimiter: `(`, `[`, or `{`.
+        open: char,
+        /// 1-based line of the opening delimiter.
+        line: u32,
+        /// Children in source order (trivia dropped).
+        children: Vec<Tree>,
+    },
+}
+
+impl Tree {
+    /// The 1-based source line this tree starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group { line, .. } => *line,
+        }
+    }
+
+    /// Leaf text, or the opening delimiter for a group.
+    pub fn text(&self) -> &str {
+        match self {
+            Tree::Leaf(t) => &t.text,
+            Tree::Group { open: '(', .. } => "(",
+            Tree::Group { open: '[', .. } => "[",
+            Tree::Group { .. } => "{",
+        }
+    }
+
+    /// True if this is an ident leaf with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tree::Leaf(t) if t.kind == TokKind::Ident && t.text == s)
+    }
+
+    /// True if this is a punct leaf with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        matches!(self, Tree::Leaf(t) if t.kind == TokKind::Punct && t.text == s)
+    }
+
+    /// True if this is a group opened by `open`.
+    pub fn is_group(&self, open: char) -> bool {
+        matches!(self, Tree::Group { open: o, .. } if *o == open)
+    }
+
+    /// Children if this is a group, else an empty slice.
+    pub fn children(&self) -> &[Tree] {
+        match self {
+            Tree::Group { children, .. } => children,
+            Tree::Leaf(_) => &[],
+        }
+    }
+}
+
+/// Parses a trivia-free token stream into trees.
+///
+/// # Errors
+///
+/// Reports unbalanced or mismatched delimiters with their line.
+pub fn parse(toks: &[Tok]) -> Result<Vec<Tree>, String> {
+    let toks: Vec<&Tok> = toks.iter().filter(|t| !t.is_trivia()).collect();
+    let mut at = 0usize;
+    let trees = parse_until(&toks, &mut at, None)?;
+    if at != toks.len() {
+        // bound: at < toks.len() checked by the condition above
+        return Err(format!(
+            "line {}: unmatched closing delimiter",
+            toks[at].line
+        ));
+    }
+    Ok(trees)
+}
+
+fn close_of(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+fn parse_until(toks: &[&Tok], at: &mut usize, close: Option<char>) -> Result<Vec<Tree>, String> {
+    let mut out = Vec::new();
+    while *at < toks.len() {
+        // bound: *at < toks.len() guarded by the loop condition
+        let t = toks[*at];
+        let is_punct = t.kind == TokKind::Punct;
+        let ch = t.text.chars().next().unwrap_or(' ');
+        if is_punct && matches!(ch, ')' | ']' | '}') {
+            if Some(ch) == close {
+                *at += 1;
+                return Ok(out);
+            }
+            if close.is_some() {
+                return Err(format!("line {}: mismatched delimiter `{ch}`", t.line));
+            }
+            return Ok(out);
+        }
+        if is_punct && matches!(ch, '(' | '[' | '{') {
+            let line = t.line;
+            *at += 1;
+            let children = parse_until(toks, at, Some(close_of(ch)))?;
+            // parse_until only returns Ok after consuming the closer
+            // or hitting end-of-input; detect the latter.
+            if *at > toks.len() {
+                return Err(format!("line {line}: unterminated `{ch}`"));
+            }
+            out.push(Tree::Group {
+                open: ch,
+                line,
+                children,
+            });
+            continue;
+        }
+        out.push(Tree::Leaf(t.clone()));
+        *at += 1;
+    }
+    if let Some(c) = close {
+        return Err(format!("unterminated group, expected `{c}`"));
+    }
+    Ok(out)
+}
+
+/// True when the bracket-group tokens of an attribute spell
+/// `cfg(test)` or `cfg(all(test, …))` / `cfg(any(test))` etc. — any
+/// attribute whose tokens contain the bare ident `test` under `cfg`.
+fn is_cfg_test_attr(children: &[Tree]) -> bool {
+    if !children.first().is_some_and(|c| c.is_ident("cfg")) {
+        return false;
+    }
+    fn contains_test(trees: &[Tree]) -> bool {
+        trees.iter().any(|t| match t {
+            Tree::Leaf(_) => t.is_ident("test"),
+            Tree::Group { children, .. } => contains_test(children),
+        })
+    }
+    contains_test(&children[1..])
+}
+
+/// Removes every item guarded by a `#[cfg(test)]` attribute —
+/// typically `mod tests { … }` — anywhere in the forest, so
+/// production-path rules never see test code.
+pub fn strip_cfg_test(trees: Vec<Tree>) -> Vec<Tree> {
+    let mut out: Vec<Tree> = Vec::with_capacity(trees.len());
+    let mut i = 0usize;
+    while i < trees.len() {
+        // bound: i < trees.len() guarded by the loop condition
+        let is_cfg_test = trees[i].is_punct("#")
+            && trees
+                .get(i + 1)
+                .is_some_and(|g| g.is_group('[') && is_cfg_test_attr(g.children()));
+        if is_cfg_test {
+            // Skip `#` `[cfg(test)]`, any further attributes, then
+            // one item: everything up to and including the first
+            // `{ … }` group or terminating `;`.
+            i += 2;
+            while i < trees.len() {
+                // bound: i < trees.len() guarded by the loop condition
+                if trees[i].is_punct("#") {
+                    i += 2; // attribute: `#` + bracket group
+                    continue;
+                }
+                let end = trees[i].is_group('{') || trees[i].is_punct(";");
+                i += 1;
+                if end {
+                    break;
+                }
+            }
+            continue;
+        }
+        match trees[i].clone() {
+            Tree::Group {
+                open,
+                line,
+                children,
+            } => out.push(Tree::Group {
+                open,
+                line,
+                children: strip_cfg_test(children),
+            }),
+            leaf => out.push(leaf),
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Depth-first walk over a forest, visiting each tree (groups before
+/// their children).
+pub fn walk<'t>(trees: &'t [Tree], visit: &mut dyn FnMut(&'t Tree)) {
+    for t in trees {
+        visit(t);
+        if let Tree::Group { children, .. } = t {
+            walk(children, visit);
+        }
+    }
+}
+
+/// Finds the body group of `fn name` items in a forest (searching
+/// nested groups too) and returns `(line, body-children)` pairs.
+pub fn fn_bodies<'t>(trees: &'t [Tree], name: &str) -> Vec<(u32, &'t [Tree])> {
+    let mut found = Vec::new();
+    collect_fn_bodies(trees, name, &mut found);
+    found
+}
+
+fn collect_fn_bodies<'t>(trees: &'t [Tree], name: &str, out: &mut Vec<(u32, &'t [Tree])>) {
+    let mut i = 0usize;
+    while i < trees.len() {
+        // bound: i < trees.len() guarded by the loop condition
+        if trees[i].is_ident("fn") && trees.get(i + 1).is_some_and(|t| t.is_ident(name)) {
+            // Body is the first `{ … }` group after the signature.
+            let mut j = i + 2;
+            while j < trees.len() {
+                // bound: j < trees.len() guarded by the loop condition
+                if trees[j].is_group('{') {
+                    out.push((trees[i].line(), trees[j].children()));
+                    break;
+                }
+                if trees[j].is_punct(";") {
+                    break; // trait method without body
+                }
+                j += 1;
+            }
+        }
+        if let Tree::Group { children, .. } = &trees[i] {
+            collect_fn_bodies(children, name, out);
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn forest(src: &str) -> Vec<Tree> {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn groups_nest() {
+        let f = forest("fn f(a: [u8; 2]) { g(1); }");
+        assert!(f.iter().any(|t| t.is_group('{')));
+        let body = f.iter().find(|t| t.is_group('{')).unwrap();
+        assert!(body.children().iter().any(|t| t.is_ident("g")));
+    }
+
+    #[test]
+    fn mismatched_delimiters_error() {
+        assert!(parse(&lex("fn f( }").unwrap()).is_err());
+        assert!(parse(&lex("{ ( }").unwrap()).is_err());
+        assert!(parse(&lex("fn f() {").unwrap()).is_err());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_stripped() {
+        let f = strip_cfg_test(forest(
+            "use std::collections::BTreeMap;\n\
+             #[cfg(test)]\nmod tests { use std::collections::HashSet; }\n\
+             fn keep() {}",
+        ));
+        let mut seen = Vec::new();
+        walk(&f, &mut |t| seen.push(t.text().to_string()));
+        assert!(seen.iter().any(|s| s == "keep"));
+        assert!(!seen.iter().any(|s| s == "HashSet"));
+        assert!(!seen.iter().any(|s| s == "tests"));
+    }
+
+    #[test]
+    fn cfg_test_fn_with_extra_attrs_is_stripped() {
+        let f = strip_cfg_test(forest(
+            "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { panic!(\"x\") }\nfn keep() {}",
+        ));
+        let mut seen = Vec::new();
+        walk(&f, &mut |t| seen.push(t.text().to_string()));
+        assert!(!seen.iter().any(|s| s == "helper"));
+        assert!(seen.iter().any(|s| s == "keep"));
+    }
+
+    #[test]
+    fn nested_cfg_test_inside_module_is_stripped() {
+        let f = strip_cfg_test(forest(
+            "mod inner { #[cfg(test)] mod tests { fn t() {} } fn keep() {} }",
+        ));
+        let mut seen = Vec::new();
+        walk(&f, &mut |t| seen.push(t.text().to_string()));
+        assert!(!seen.iter().any(|s| s == "t"));
+        assert!(seen.iter().any(|s| s == "keep"));
+    }
+
+    #[test]
+    fn fn_bodies_finds_nested() {
+        let f = forest("impl X { fn target(&self) { inner_marker(); } } fn target() {}");
+        let bodies = fn_bodies(&f, "target");
+        assert_eq!(bodies.len(), 2);
+        assert!(bodies[0].1.iter().any(|t| t.is_ident("inner_marker")));
+    }
+}

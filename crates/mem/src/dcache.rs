@@ -24,7 +24,7 @@ pub struct DataCacheStats {
 #[derive(Debug, Clone)]
 pub struct DataCache {
     tags: SetAssocCache,
-    dirty: std::collections::HashSet<u64>,
+    dirty: std::collections::BTreeSet<u64>,
     hit_latency: u32,
     l2_latency: u32,
     stats: DataCacheStats,
@@ -44,7 +44,7 @@ impl DataCache {
     pub fn with_params(size_bytes: u32, ways: u32, hit_latency: u32, l2_latency: u32) -> Self {
         DataCache {
             tags: SetAssocCache::new(CacheGeometry::with_entries(size_bytes / 64, ways)),
-            dirty: std::collections::HashSet::new(),
+            dirty: std::collections::BTreeSet::new(),
             hit_latency,
             l2_latency,
             stats: DataCacheStats::default(),

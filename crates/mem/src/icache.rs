@@ -88,7 +88,7 @@ pub struct InstrCache {
     stats: IcacheStats,
     /// Lines whose most recent fill was performed by the
     /// preconstruction engine (tracked for Table-3-style attribution).
-    precon_filled: std::collections::HashSet<u64>,
+    precon_filled: std::collections::BTreeSet<u64>,
 }
 
 impl InstrCache {
@@ -104,7 +104,7 @@ impl InstrCache {
             tags: SetAssocCache::new(CacheGeometry::with_entries(lines, config.ways)),
             config,
             stats: IcacheStats::default(),
-            precon_filled: std::collections::HashSet::new(),
+            precon_filled: std::collections::BTreeSet::new(),
         }
     }
 

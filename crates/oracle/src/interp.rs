@@ -11,7 +11,7 @@
 //! both the production executor and every simulator configuration
 //! against the retired-instruction stream this interpreter produces.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tpc_isa::model::{OutcomeState, XorShift64};
 use tpc_isa::{Addr, Op, Program, Reg};
 
@@ -57,10 +57,10 @@ fn load_value(addr: u64) -> i64 {
 pub struct Oracle<'a> {
     program: &'a Program,
     pc: Addr,
-    regs: HashMap<u8, i64>,
+    regs: BTreeMap<u8, i64>,
     call_stack: Vec<Addr>,
-    branch_states: HashMap<u32, OutcomeState>,
-    indirect_rngs: HashMap<u32, XorShift64>,
+    branch_states: BTreeMap<u32, OutcomeState>,
+    indirect_rngs: BTreeMap<u32, XorShift64>,
     retired: u64,
     completions: u64,
 }
@@ -71,10 +71,10 @@ impl<'a> Oracle<'a> {
         Oracle {
             program,
             pc: program.entry(),
-            regs: HashMap::new(),
+            regs: BTreeMap::new(),
             call_stack: Vec::new(),
-            branch_states: HashMap::new(),
-            indirect_rngs: HashMap::new(),
+            branch_states: BTreeMap::new(),
+            indirect_rngs: BTreeMap::new(),
             retired: 0,
             completions: 0,
         }

@@ -19,7 +19,7 @@ use tpc_isa::Addr;
 /// Two dynamic instruction sequences with equal keys are the same
 /// trace; the trace cache and preconstruction buffers index by a hash
 /// of this key (paper Section 3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TraceKey {
     /// Address of the first instruction.
     pub start: Addr,

@@ -835,6 +835,7 @@ impl<'a> Simulator<'a> {
         for ev in events {
             let landed = match ev.kind {
                 FaultKind::FlipBimodalBit => {
+                    // narrow: masked to 1 bit before the cast
                     self.bimodal.flip_bit(ev.a as usize, (ev.b & 1) as u8);
                     true
                 }
@@ -850,7 +851,7 @@ impl<'a> Simulator<'a> {
                 FaultKind::StallConstructor => {
                     self.engine.apply_fault(EngineFault::StallConstructor {
                         salt: ev.a,
-                        cycles: (1 + ev.b % 8) as u32,
+                        cycles: (1 + ev.b % 8) as u32, // narrow: value in 1..=8
                     })
                 }
                 FaultKind::KillConstructor => self
@@ -1082,8 +1083,8 @@ impl<'a> Simulator<'a> {
         self.record(SimEvent::Dispatch {
             cycle: self.cycle,
             start: dt.trace.start(),
-            len: dt.trace.len() as u8,
-            pe: timing.pe as u8,
+            len: dt.trace.len() as u8, // narrow: trace len capped at 16 slots
+            pe: timing.pe as u8,       // narrow: PE index < pe_count (4)
             source: self.pending_source,
         });
         self.prev_resolve = timing.last_resolve;

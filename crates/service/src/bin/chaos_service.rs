@@ -30,7 +30,7 @@
 //! Exit status 0 only if every check passes — wired into
 //! `scripts/verify.sh` as the service smoke gate.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, ExitCode, Stdio};
 use std::sync::Arc;
@@ -133,7 +133,7 @@ fn grid(quick: bool) -> Vec<CellSpec> {
 
 /// Serial, unsupervised, in-process reference results for `specs`.
 fn serial_reference(specs: &[CellSpec], params: RunParams) -> Vec<SimStats> {
-    let mut programs: HashMap<&'static str, Arc<Program>> = HashMap::new();
+    let mut programs: BTreeMap<&'static str, Arc<Program>> = BTreeMap::new();
     let cells: Vec<SweepCell> = specs
         .iter()
         .map(|spec| {

@@ -19,7 +19,7 @@
 //! ending mid-line (SIGKILL'd daemon) is newline-repaired on open so
 //! the next append is not glued onto the fragment.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::Path;
@@ -45,7 +45,7 @@ pub struct CacheStats {
 }
 
 struct CacheInner {
-    map: HashMap<u64, SimStats>,
+    map: BTreeMap<u64, SimStats>,
     file: Option<File>,
     hits: u64,
     misses: u64,
@@ -66,7 +66,7 @@ impl ResultCache {
     pub fn in_memory() -> ResultCache {
         ResultCache {
             inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
+                map: BTreeMap::new(),
                 file: None,
                 hits: 0,
                 misses: 0,
@@ -84,7 +84,7 @@ impl ResultCache {
     /// I/O errors, or [`io::ErrorKind::InvalidData`] when the file
     /// exists but is not a result cache.
     pub fn open(path: &Path) -> io::Result<ResultCache> {
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         let mut torn_tail = false;
         if path.exists() {
             let contents = String::from_utf8_lossy(&std::fs::read(path)?).into_owned();

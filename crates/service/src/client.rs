@@ -245,15 +245,19 @@ impl Client {
                         .and_then(Json::as_arr)
                         .map(|a| a.iter().filter_map(Json::as_u64).collect())
                         .ok_or_else(|| protocol_err("cell event missing words"))?;
+                    // bound: index_of caps i < cell count
                     report.stats[i] = Some(
                         SimStats::from_words(&words)
                             .ok_or_else(|| protocol_err("cell event words malformed"))?,
                     );
+                    // bound: index_of caps i < cell count
                     report.attempts[i] = v.u64_or("attempts", 0).map_err(protocol_err)? as u32;
+                    // bound: index_of caps i < cell count
                     report.cached[i] = v.get("cached").and_then(Json::as_bool).unwrap_or(false);
                 }
                 Some("cell_error") => {
                     let i = index_of(&v, "index")?;
+                    // bound: index_of caps i < cell count
                     report.attempts[i] = v.u64_or("attempts", 0).map_err(protocol_err)? as u32;
                 }
                 Some("retry") | Some("worker_killed") => {}

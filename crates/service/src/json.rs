@@ -213,6 +213,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        // bound: self.at <= len, open-ended slice cannot overrun
         if self.bytes[self.at..].starts_with(text.as_bytes()) {
             self.at += text.len();
             Ok(value)
@@ -232,6 +233,7 @@ impl<'a> Parser<'a> {
         ) {
             self.at += 1;
         }
+        // bound: start <= self.at <= len, both advanced byte-by-byte
         let raw = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii slice");
         // Validate the shape once so `Num` is always parseable.
         raw.parse::<f64>()
@@ -265,6 +267,7 @@ impl<'a> Parser<'a> {
                         b'u' => {
                             let hi = self.hex4()?;
                             let cp = if (0xD800..0xDC00).contains(&hi)
+                                // bound: self.at <= len, open-ended slice
                                 && self.bytes[self.at..].starts_with(b"\\u")
                             {
                                 self.at += 2;
@@ -287,6 +290,7 @@ impl<'a> Parser<'a> {
                         self.at += 1;
                     }
                     out.push_str(
+                        // bound: start <= self.at <= len by the scan loop
                         std::str::from_utf8(&self.bytes[start..self.at])
                             .expect("input is a &str, runs split at ascii"),
                     );
@@ -298,6 +302,7 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, String> {
         let end = self.at.checked_add(4).filter(|&e| e <= self.bytes.len());
         let end = end.ok_or("truncated \\u escape")?;
+        // bound: end <= len checked by the filter above
         let hex = std::str::from_utf8(&self.bytes[self.at..end]).map_err(|_| "bad \\u escape")?;
         let cp = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape {hex:?}"))?;
         self.at = end;

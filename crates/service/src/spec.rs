@@ -57,7 +57,7 @@ impl ConfigSpec {
                 Err(format!("config spec {s:?}: expected {n} fields"))
             }
         };
-        match parts[0] {
+        match parts.first().copied().unwrap_or("") {
             "baseline" => {
                 arity(2)?;
                 Ok(ConfigSpec::Baseline(num(1)? as u32))
@@ -345,7 +345,9 @@ impl SweepRequest {
                                 format!("chaos: {key} entries are [cell,attempt] pairs")
                             })?;
                             Ok((
+                                // bound: p.len() == 2 filtered above
                                 p[0].as_u64().ok_or("chaos: bad cell index")? as usize,
+                                // bound: p.len() == 2 filtered above
                                 p[1].as_u64().ok_or("chaos: bad attempt")? as u32,
                             ))
                         })

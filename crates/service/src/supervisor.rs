@@ -31,7 +31,7 @@
 
 use crate::cache::ResultCache;
 use crate::spec::{CellSpec, SweepRequest};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -128,7 +128,7 @@ pub struct PreparedCell {
 /// Regenerates each benchmark's program once and binds every cell of
 /// `req` to its program, expanded config, and fingerprint.
 pub fn prepare_cells(req: &SweepRequest) -> Vec<PreparedCell> {
-    let mut programs: HashMap<&'static str, Arc<Program>> = HashMap::new();
+    let mut programs: BTreeMap<&'static str, Arc<Program>> = BTreeMap::new();
     req.cells
         .iter()
         .map(|spec| {
@@ -364,7 +364,7 @@ struct Shared {
     queue: Vec<Task>,
     outcomes: Vec<Option<CellOutcome>>,
     unresolved: usize,
-    in_flight: HashMap<usize, Task>,
+    in_flight: BTreeMap<usize, Task>,
     kill_budget: Vec<(usize, u32)>,
     retries: u64,
     workers_killed: u64,
@@ -408,6 +408,7 @@ pub fn run_supervised(
                 ms: 0.0,
                 stats: Box::new(stats.clone()),
             });
+            // bound: index enumerates self.cells
             outcomes[index] = Some(CellOutcome {
                 result: Ok(stats),
                 attempts: 0,
@@ -439,7 +440,7 @@ pub fn run_supervised(
             queue,
             outcomes,
             unresolved,
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             kill_budget: chaos.kill_worker.clone(),
             retries: 0,
             workers_killed: 0,
@@ -580,6 +581,7 @@ impl<'a> Pool<'a> {
                 // is indistinguishable from a crashed worker.
                 return;
             }
+            // bound: tasks are built from cell indices
             let cell = &self.cells[task.index];
             let t0 = Instant::now();
             let result = run_attempt(cell, task.attempt, self.opts);
@@ -597,6 +599,7 @@ impl<'a> Pool<'a> {
                     {
                         let mut shared = self.lock();
                         shared.in_flight.remove(&wid);
+                        // bound: outcomes sized to cells
                         shared.outcomes[task.index] = Some(CellOutcome {
                             result: Ok(stats.clone()),
                             attempts: task.attempt,
@@ -638,6 +641,7 @@ impl<'a> Pool<'a> {
                         {
                             let mut shared = self.lock();
                             shared.in_flight.remove(&wid);
+                            // bound: outcomes sized to cells
                             shared.outcomes[task.index] = Some(CellOutcome {
                                 result: Err(error.clone()),
                                 attempts: task.attempt,

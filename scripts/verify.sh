@@ -17,6 +17,17 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== self-hosted lint gate (tpc_lint: determinism/panic/conformance rules) =="
+# Parses the workspace's own source and enforces what clippy cannot:
+# no unordered collections, wall clocks, or thread identity in result
+# paths; panic hygiene in supervised worker/daemon code; SimStats
+# codec / FaultKind / service-protocol / --jobs conformance. Fails on
+# any unallowlisted finding or stale allowlist entry; every allowlist
+# entry (printed below) carries a written justification. Per-rule
+# counts land in BENCH_lint.json.
+cargo run -p tpc-lint --release --offline --bin tpc_lint -- \
+  --list-allow --json BENCH_lint.json
+
 echo "== workspace test suite (analyzer, oracle, experiments) =="
 cargo test -q --offline --workspace
 
