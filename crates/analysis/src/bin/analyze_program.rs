@@ -1,14 +1,18 @@
-//! Static analysis report for generated workloads.
+//! Static analysis report for generated and hand-written workloads.
 //!
-//! For each requested benchmark, builds the program at the given seed
-//! and scale, then prints its CFG summary, region start points, start
-//! closure, bias-following static trace count, and lint findings.
-//! Output is byte-identical for a given (benchmark set, seed, scale)
-//! regardless of `--jobs` — results are assembled in input order.
+//! For each requested input — a benchmark name, or a path ending in
+//! `.asm` loaded through the asm frontend — builds/loads the program
+//! and prints its CFG summary, region start points, start closure,
+//! bias-following static trace count, and lint findings. Output is
+//! byte-identical for a given (input set, seed, scale) regardless of
+//! `--jobs` — results are assembled in input order.
 //!
 //! ```text
-//! analyze_program [bench ...] [--seed N] [--scale PERMILLE] [--jobs N]
+//! analyze_program [bench|file.asm ...] [--seed N] [--scale PERMILLE] [--jobs N]
 //! ```
+//!
+//! `--seed`/`--scale` apply to generated benchmarks only; `.asm`
+//! programs are analyzed as written.
 //!
 //! Exits non-zero when any analyzed program has lint *errors*
 //! (warnings are informational).
@@ -18,21 +22,30 @@ use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use tpc_analysis::{enumerate_biased, lint, Cfg, LintLevel, StaticEnumeration};
+use tpc_exec::AsmProgram;
+use tpc_isa::Program;
 use tpc_workloads::{Benchmark, WorkloadBuilder};
 
 /// Cap on distinct trace keys per benchmark in the bias-following
 /// enumeration (counts are reported as lower bounds past it).
 const MAX_STATIC_TRACES: usize = 200_000;
 
+/// One thing to analyze: a generated benchmark or a loaded `.asm`
+/// program.
+enum Input {
+    Bench(Benchmark),
+    Asm(AsmProgram),
+}
+
 struct Args {
-    benchmarks: Vec<Benchmark>,
+    inputs: Vec<Input>,
     seed: u64,
     scale_permille: u32,
     jobs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut benchmarks = Vec::new();
+    let mut inputs = Vec::new();
     let mut seed = 1u64;
     let mut scale_permille = 1000u32;
     let mut jobs = 1usize;
@@ -59,21 +72,25 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--help" | "-h" => {
-                return Err(
-                    "usage: analyze_program [bench ...] [--seed N] [--scale PERMILLE] [--jobs N]"
-                        .into(),
-                )
+                return Err("usage: analyze_program [bench|file.asm ...] [--seed N] \
+                     [--scale PERMILLE] [--jobs N]"
+                    .into())
             }
-            name => benchmarks.push(
+            name if name.ends_with(".asm") => {
+                inputs.push(Input::Asm(
+                    AsmProgram::load(name).map_err(|e| e.to_string())?,
+                ));
+            }
+            name => inputs.push(Input::Bench(
                 Benchmark::from_str(name).map_err(|e| format!("unknown benchmark {name}: {e}"))?,
-            ),
+            )),
         }
     }
-    if benchmarks.is_empty() {
-        benchmarks = Benchmark::ALL.to_vec();
+    if inputs.is_empty() {
+        inputs = Benchmark::ALL.iter().copied().map(Input::Bench).collect();
     }
     Ok(Args {
-        benchmarks,
+        inputs,
         seed,
         scale_permille,
         jobs,
@@ -105,17 +122,31 @@ fn map_ordered<T: Sync, U: Send>(items: &[T], jobs: usize, f: impl Fn(&T) -> U +
         .collect()
 }
 
-/// Analyzes one benchmark; returns `(report text, had lint errors)`.
-fn analyze(benchmark: Benchmark, seed: u64, scale_permille: u32) -> (String, bool) {
-    let program = WorkloadBuilder::new(benchmark)
-        .seed(seed)
-        .scale_permille(scale_permille)
-        .build();
-    let cfg = Cfg::build(&program);
-    let summary = cfg.summary(&program);
-    let enumeration = StaticEnumeration::build(&program);
-    let traces = enumerate_biased(&program, MAX_STATIC_TRACES);
-    let lints = lint(&program, &cfg);
+/// Analyzes one input; returns `(report text, had lint errors)`.
+fn analyze(input: &Input, seed: u64, scale_permille: u32) -> (String, bool) {
+    let (title, built);
+    let program: &Program = match input {
+        Input::Bench(benchmark) => {
+            title = format!(
+                "{} (seed {seed}, scale {scale_permille}/1000)",
+                benchmark.name()
+            );
+            built = WorkloadBuilder::new(*benchmark)
+                .seed(seed)
+                .scale_permille(scale_permille)
+                .build();
+            &built
+        }
+        Input::Asm(asm) => {
+            title = format!("{} (.asm)", asm.name());
+            asm.program()
+        }
+    };
+    let cfg = Cfg::build(program);
+    let summary = cfg.summary(program);
+    let enumeration = StaticEnumeration::build(program);
+    let traces = enumerate_biased(program, MAX_STATIC_TRACES);
+    let lints = lint(program, &cfg);
     let errors = lints
         .iter()
         .filter(|l| l.level() == LintLevel::Error)
@@ -123,10 +154,7 @@ fn analyze(benchmark: Benchmark, seed: u64, scale_permille: u32) -> (String, boo
     let warnings = lints.len() - errors;
 
     let mut s = String::new();
-    s.push_str(&format!(
-        "## {} (seed {seed}, scale {scale_permille}/1000)\n",
-        benchmark.name()
-    ));
+    s.push_str(&format!("## {title}\n"));
     s.push_str(&format!("instructions:     {}\n", summary.instructions));
     s.push_str(&format!(
         "basic blocks:     {} ({} reachable)\n",
@@ -178,13 +206,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let results = map_ordered(&args.benchmarks, args.jobs, |&b| {
-        analyze(b, args.seed, args.scale_permille)
+    let results = map_ordered(&args.inputs, args.jobs, |input| {
+        analyze(input, args.seed, args.scale_permille)
     });
     println!("# Static analysis report");
     println!(
-        "benchmarks: {}  seed: {}  scale: {}/1000",
-        args.benchmarks.len(),
+        "programs: {}  seed: {}  scale: {}/1000",
+        args.inputs.len(),
         args.seed,
         args.scale_permille
     );

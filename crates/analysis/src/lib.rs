@@ -19,6 +19,11 @@
 //!   inputs (backward branches that are not loop latches, indirect
 //!   jumps without targets) before they reach simulation.
 //!
+//! Every entry point takes a `&Program`; the [`source`] module adds
+//! [`tpc_exec::FrontendSource`]-generic wrappers so loaded `.asm`
+//! programs (and any future frontend) run through the identical
+//! analysis pipeline.
+//!
 //! ```
 //! use tpc_analysis::{Cfg, StaticEnumeration};
 //! use tpc_workloads::{Benchmark, WorkloadBuilder};
@@ -39,7 +44,9 @@
 pub mod cfg;
 pub mod enumerate;
 pub mod lint;
+pub mod source;
 
 pub use cfg::{BasicBlock, CallEdge, Cfg, CfgSummary};
 pub use enumerate::{enumerate_biased, BiasedEnumeration, StaticEnumeration};
 pub use lint::{has_errors, lint, Lint, LintLevel};
+pub use source::{cfg_of, enumeration_of, lint_source};

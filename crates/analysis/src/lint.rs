@@ -63,16 +63,36 @@ pub enum Lint {
         /// The call.
         at: Addr,
     },
+    /// A conditional branch with no attached outcome model: the
+    /// executor could not resolve it. Unreachable through
+    /// [`tpc_isa::ProgramBuilder::build`] (missing models are
+    /// rejected); kept as defence in depth now that programs also
+    /// arrive through the `.asm` frontend and other loaders.
+    UnmodeledBranch {
+        /// The branch.
+        at: Addr,
+    },
+    /// A biased-branch model whose fraction is degenerate (zero
+    /// denominator, zero numerator, or numerator ≥ denominator): the
+    /// branch always resolves one way, so the annotation should have
+    /// been `@taken`/`@nottaken` — or a generator has gone wrong.
+    DegenerateBranchModel {
+        /// The branch.
+        at: Addr,
+    },
 }
 
 impl Lint {
     /// The finding's severity.
     pub fn level(&self) -> LintLevel {
         match self {
-            Lint::UnreachableBlock { .. } => LintLevel::Warning,
+            Lint::UnreachableBlock { .. } | Lint::DegenerateBranchModel { .. } => {
+                LintLevel::Warning
+            }
             Lint::BackwardBranchNotLatch { .. }
             | Lint::IndirectJumpWithoutTargets { .. }
-            | Lint::CallWithoutReturnPoint { .. } => LintLevel::Error,
+            | Lint::CallWithoutReturnPoint { .. }
+            | Lint::UnmodeledBranch { .. } => LintLevel::Error,
         }
     }
 }
@@ -96,6 +116,15 @@ impl fmt::Display for Lint {
             Lint::CallWithoutReturnPoint { at } => {
                 write!(f, "error: call at {at} has no in-range return point")
             }
+            Lint::UnmodeledBranch { at } => {
+                write!(f, "error: conditional branch at {at} has no outcome model")
+            }
+            Lint::DegenerateBranchModel { at } => {
+                write!(
+                    f,
+                    "warning: branch at {at} has a degenerate bias (always resolves one way)"
+                )
+            }
         }
     }
 }
@@ -109,14 +138,26 @@ pub fn lint(program: &Program, cfg: &Cfg) -> Vec<Lint> {
 
     for (addr, op) in program.iter() {
         match op.class() {
-            OpClass::Branch if op.is_backward_branch(addr) => {
-                let target = op.static_target().expect("branches have static targets");
-                let latch = cfg.block_of(addr);
-                let header = cfg.block_of(target);
-                // Unreachable latches are covered by the unreachable
-                // warning; dominance is undefined there.
-                if cfg.is_reachable(latch) && !cfg.dominates(header, latch) {
-                    errors.push(Lint::BackwardBranchNotLatch { at: addr, target });
+            OpClass::Branch => {
+                match program.branch_model(addr) {
+                    None => errors.push(Lint::UnmodeledBranch { at: addr }),
+                    Some(&tpc_isa::model::OutcomeModel::Biased { num, denom, .. })
+                        if num == 0 || num >= denom =>
+                    {
+                        warnings.push(Lint::DegenerateBranchModel { at: addr });
+                    }
+                    Some(_) => {}
+                }
+                if op.is_backward_branch(addr) {
+                    let target = op.static_target().expect("branches have static targets");
+                    let latch = cfg.block_of(addr);
+                    let header = cfg.block_of(target);
+                    // Unreachable latches are covered by the
+                    // unreachable warning; dominance is undefined
+                    // there.
+                    if cfg.is_reachable(latch) && !cfg.dominates(header, latch) {
+                        errors.push(Lint::BackwardBranchNotLatch { at: addr, target });
+                    }
                 }
             }
             OpClass::IndirectJump if program.indirect_targets(addr).is_empty() => {
@@ -221,6 +262,61 @@ mod tests {
         assert_eq!(lints.len(), 1);
         assert_eq!(lints[0].level(), LintLevel::Warning);
         assert!(!has_errors(&lints));
+    }
+
+    #[test]
+    fn degenerate_bias_is_a_warning() {
+        let mut b = ProgramBuilder::new();
+        let top = b.push(Op::Nop);
+        b.push_branch(
+            branch_to(top),
+            OutcomeModel::Loop { trip: 2 }, // healthy latch
+        );
+        b.push_branch(
+            Op::Branch {
+                cond: BranchCond::Eq,
+                rs1: r(1),
+                rs2: r(2),
+                target: Addr::new(4),
+            },
+            OutcomeModel::Biased {
+                num: 5,
+                denom: 5,
+                seed: 1,
+            },
+        );
+        b.push(Op::Halt);
+        b.push(Op::Halt);
+        let p = b.build().unwrap();
+        let lints = lint_of(&p);
+        assert!(
+            lints
+                .iter()
+                .any(|l| matches!(l, Lint::DegenerateBranchModel { at } if at.word() == 2)),
+            "{lints:?}"
+        );
+        assert!(!has_errors(&lints), "degenerate bias is only a warning");
+    }
+
+    #[test]
+    fn healthy_bias_not_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.push_branch(
+            Op::Branch {
+                cond: BranchCond::Eq,
+                rs1: r(1),
+                rs2: r(2),
+                target: Addr::new(1),
+            },
+            OutcomeModel::Biased {
+                num: 1,
+                denom: 40,
+                seed: 1,
+            },
+        );
+        b.push(Op::Halt);
+        let p = b.build().unwrap();
+        assert!(lint_of(&p).is_empty());
     }
 
     #[test]

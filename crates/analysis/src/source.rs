@@ -1,0 +1,75 @@
+//! Frontend-source-generic analysis entry points.
+//!
+//! The analyzer consumes static code, and every
+//! [`FrontendSource`] exposes its code through
+//! [`FrontendSource::code`] — so CFG construction, static
+//! enumeration, and linting work identically whether the program is a
+//! synthetic workload, a loaded `.asm` file, or any future frontend.
+//! These wrappers make that explicit at the call site and keep the
+//! pipeline uniform with the (equally generic) simulator and oracle.
+
+use crate::cfg::Cfg;
+use crate::enumerate::StaticEnumeration;
+use crate::lint::{lint, Lint};
+use tpc_exec::FrontendSource;
+
+/// Builds the control-flow graph of the source's static code.
+pub fn cfg_of<S: FrontendSource>(source: &S) -> Cfg {
+    Cfg::build(source.code())
+}
+
+/// Builds the static trace enumeration of the source's static code.
+pub fn enumeration_of<S: FrontendSource>(source: &S) -> StaticEnumeration {
+    StaticEnumeration::build(source.code())
+}
+
+/// Lints the source's static code over a freshly built CFG.
+pub fn lint_source<S: FrontendSource>(source: &S) -> Vec<Lint> {
+    let code = source.code();
+    lint(code, &Cfg::build(code))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::{has_errors, LintLevel};
+    use tpc_exec::AsmProgram;
+
+    #[test]
+    fn asm_programs_lint_through_the_same_pipeline() {
+        // A loaded .asm program with an unreachable block (unlabeled,
+        // so it is not a function entry) and a degenerate bias: the
+        // workload linter must see both.
+        let src = "main:\n\
+                   \x20   beq r1, r2, main @bias(2/2)\n\
+                   \x20   halt\n\
+                   \x20   nop\n\
+                   \x20   halt\n";
+        let asm = AsmProgram::from_source("demo", src).unwrap();
+        let lints = lint_source(&asm);
+        assert!(
+            lints.iter().any(|l| l.to_string().contains("unreachable")),
+            "{lints:?}"
+        );
+        assert!(
+            lints.iter().any(|l| l.to_string().contains("degenerate")),
+            "{lints:?}"
+        );
+        assert!(lints.iter().all(|l| l.level() == LintLevel::Warning));
+        assert!(!has_errors(&lints));
+    }
+
+    #[test]
+    fn cfg_and_enumeration_agree_with_direct_calls() {
+        let src = "main:\n\
+                   top:\n\
+                   \x20   addi r1, r1, 1\n\
+                   \x20   bne r1, r0, top @loop(3)\n\
+                   \x20   halt\n";
+        let asm = AsmProgram::from_source("loop", src).unwrap();
+        let via_source = cfg_of(&asm);
+        let direct = Cfg::build(tpc_exec::FrontendSource::code(&asm));
+        assert_eq!(via_source.blocks().len(), direct.blocks().len());
+        let _ = enumeration_of(&asm);
+    }
+}

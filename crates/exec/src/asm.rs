@@ -1,0 +1,217 @@
+//! The hand-written-assembly frontend.
+//!
+//! Loads `.asm` text (see [`tpc_isa::asm`] for the syntax) into a
+//! validated [`Program`] and exposes it through the [`Frontend`] /
+//! [`FrontendSource`] boundary, so hand-written programs run through
+//! the exact same simulator, differential-oracle, fault-injection,
+//! and static-analysis pipeline as the synthetic workloads.
+//!
+//! Example programs ship under `examples/asm/` in the repo root; the
+//! `asm_run` binary in `tpc-oracle` drives one end-to-end.
+
+use crate::frontend::{Frontend, FrontendSource};
+use crate::{DynInstr, Executor};
+use std::fmt;
+use std::path::Path;
+use tpc_isa::asm::{assemble, AsmError};
+use tpc_isa::Program;
+
+/// Error from loading an `.asm` file.
+#[derive(Debug)]
+pub enum AsmLoadError {
+    /// The file could not be read.
+    Io {
+        /// The path we tried to read.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The source text failed to assemble or validate.
+    Parse(AsmError),
+}
+
+impl fmt::Display for AsmLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmLoadError::Io { path, source } => write!(f, "{path}: {source}"),
+            AsmLoadError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsmLoadError::Io { source, .. } => Some(source),
+            AsmLoadError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<AsmError> for AsmLoadError {
+    fn from(e: AsmError) -> Self {
+        AsmLoadError::Parse(e)
+    }
+}
+
+/// A hand-written assembly program: named, parsed, and validated.
+///
+/// This is the owned [`FrontendSource`] for the `"asm"` frontend;
+/// [`AsmProgram::frontend`](FrontendSource::frontend) instantiates a
+/// fresh [`AsmFrontend`] per run.
+#[derive(Debug, Clone)]
+pub struct AsmProgram {
+    name: String,
+    program: Program,
+}
+
+impl AsmProgram {
+    /// Assembles `source` under the given display name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`AsmError`] (with 1-based source line) for syntax
+    /// or validation failures.
+    pub fn from_source(name: impl Into<String>, source: &str) -> Result<Self, AsmError> {
+        Ok(AsmProgram {
+            name: name.into(),
+            program: assemble(source)?,
+        })
+    }
+
+    /// Loads and assembles an `.asm` file; the file stem becomes the
+    /// program name.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (tagged with the path) and assembly failures.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, AsmLoadError> {
+        let path = path.as_ref();
+        let source = std::fs::read_to_string(path).map_err(|e| AsmLoadError::Io {
+            path: path.display().to_string(),
+            source: e,
+        })?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        Ok(AsmProgram::from_source(name, &source)?)
+    }
+
+    /// The program's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The assembled, validated program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+impl FrontendSource for AsmProgram {
+    type Fe<'s> = AsmFrontend<'s>;
+
+    fn id(&self) -> &'static str {
+        "asm"
+    }
+
+    fn code(&self) -> &Program {
+        &self.program
+    }
+
+    fn frontend(&self) -> AsmFrontend<'_> {
+        AsmFrontend {
+            ex: Executor::new(&self.program),
+        }
+    }
+}
+
+/// A running instance of the `"asm"` frontend.
+///
+/// Execution semantics are the architectural [`Executor`]'s — the
+/// `.asm` loader changes where programs come from, not how they run —
+/// so the [`Frontend`] contract (halt restart, unbalanced-`ret`
+/// transfer) holds by construction.
+#[derive(Debug, Clone)]
+pub struct AsmFrontend<'a> {
+    ex: Executor<'a>,
+}
+
+impl Frontend for AsmFrontend<'_> {
+    fn id(&self) -> &'static str {
+        "asm"
+    }
+
+    fn code(&self) -> &Program {
+        self.ex.program()
+    }
+
+    fn next_retired(&mut self) -> DynInstr {
+        self.ex.next_retired()
+    }
+
+    fn retired(&self) -> u64 {
+        self.ex.retired()
+    }
+
+    fn completions(&self) -> u64 {
+        self.ex.completions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOOP: &str =
+        "main:\n    li r1, 3\ntop:\n    addi r1, r1, -1\n    bne r1, r0, top @loop(3)\n    halt\n";
+
+    #[test]
+    fn from_source_assembles_and_names() {
+        let p = AsmProgram::from_source("loop", LOOP).unwrap();
+        assert_eq!(p.name(), "loop");
+        assert_eq!(p.program().len(), 4);
+        assert_eq!(FrontendSource::id(&p), "asm");
+    }
+
+    #[test]
+    fn asm_frontend_matches_raw_executor() {
+        // The asm frontend is the executor over the assembled
+        // program: identical retired streams.
+        let p = AsmProgram::from_source("loop", LOOP).unwrap();
+        let mut fe = p.frontend();
+        let mut ex = Executor::new(p.program());
+        for _ in 0..64 {
+            assert_eq!(fe.next_retired(), ex.next().unwrap());
+        }
+        assert_eq!(Frontend::retired(&fe), 64);
+        assert_eq!(fe.id(), "asm");
+    }
+
+    #[test]
+    fn parse_errors_surface_with_lines() {
+        let e = AsmProgram::from_source("bad", "main: bogus r1\nhalt").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn load_reports_missing_files() {
+        let e = AsmProgram::load("/nonexistent/definitely_missing.asm").unwrap_err();
+        assert!(matches!(e, AsmLoadError::Io { .. }));
+        assert!(e.to_string().contains("definitely_missing"));
+    }
+
+    #[test]
+    fn unbalanced_ret_contract_holds_for_asm_programs() {
+        // The frontend-contract case the trait docs pin: `ret` with
+        // an empty call stack transfers to the entry without counting
+        // a completion.
+        let p = AsmProgram::from_source("ret", "main:\n    nop\n    ret\n").unwrap();
+        let mut fe = p.frontend();
+        fe.next_retired();
+        let d = fe.next_retired();
+        assert_eq!(d.next_pc, p.program().entry());
+        assert_eq!(fe.completions(), 0);
+    }
+}

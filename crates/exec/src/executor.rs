@@ -78,6 +78,11 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// The static program being executed.
+    pub fn program(&self) -> &'a Program {
+        self.program
+    }
+
     /// Instructions retired so far.
     pub fn retired(&self) -> u64 {
         self.retired
@@ -390,6 +395,48 @@ mod tests {
         for d in stream.iter().filter(|d| d.op == Op::Halt) {
             assert_eq!(d.next_pc, p.entry());
         }
+    }
+
+    #[test]
+    fn unbalanced_ret_jumps_to_entry_without_completing() {
+        // Pins the frontend-contract semantics: a `ret` with an empty
+        // call stack transfers control to the entry point but is NOT
+        // a program end — no completion is counted, the registers and
+        // branch-model state persist (unlike `halt`, which restarts
+        // and bumps `completions`).
+        let mut b = ProgramBuilder::new();
+        b.push(Op::AddImm {
+            rd: r(1),
+            rs1: r(1),
+            imm: 1,
+        });
+        b.push(Op::Return);
+        let p = b.build().unwrap();
+        let mut ex = Executor::new(&p);
+
+        for pass in 1..=3 {
+            let add = ex.next().unwrap();
+            assert_eq!(
+                add.op,
+                Op::AddImm {
+                    rd: r(1),
+                    rs1: r(1),
+                    imm: 1
+                }
+            );
+            let ret = ex.next().unwrap();
+            assert_eq!(ret.op, Op::Return);
+            assert_eq!(ret.next_pc, p.entry(), "unbalanced ret jumps to entry");
+            assert_eq!(ex.completions(), 0, "no completion counted");
+            assert_eq!(ex.call_depth(), 0);
+            assert_eq!(ex.read(r(1)), pass, "register state persists");
+        }
+
+        // Contrast: `halt` restarts and counts a completion.
+        let halting = counted_loop(1);
+        let mut hx = Executor::new(&halting);
+        while hx.next().unwrap().op != Op::Halt {}
+        assert_eq!(hx.completions(), 1);
     }
 
     #[test]

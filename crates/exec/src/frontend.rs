@@ -1,0 +1,159 @@
+//! The pluggable frontend boundary.
+//!
+//! A [`Frontend`] is anything that can (a) produce the next retired
+//! architectural instruction and (b) expose the static code that
+//! stream is drawn from. The trace-cache simulator, the differential
+//! oracle, and the static analyzer are all generic over this trait —
+//! statically dispatched, no `dyn` — so alternative instruction
+//! sources (hand-written `.asm` programs today; competing prefetcher
+//! studies and server-scale footprints tomorrow) plug in without
+//! touching the timing model.
+//!
+//! # Contract
+//!
+//! Implementations must uphold the executor semantics the rest of the
+//! pipeline is verified against:
+//!
+//! * **Deterministic**: the retired stream is a pure function of the
+//!   static code and its attached behaviour models. Two frontends
+//!   over the same code produce identical streams.
+//! * **Endless**: [`Frontend::next_retired`] never ends. `halt`
+//!   restarts execution at the entry point — clearing the call stack
+//!   and bumping [`Frontend::completions`], while register values and
+//!   per-branch model state persist (re-entering a long-lived outer
+//!   loop, not rebooting).
+//! * **Unbalanced `ret`**: a `ret` with an empty call stack jumps to
+//!   the entry point *without* counting a completion and *without*
+//!   clearing any state — it is a control transfer, not a program
+//!   end. Only reachable in hand-written programs; pinned by a unit
+//!   test in this crate.
+//! * **Static code is the whole truth**: every `pc` and `next_pc` in
+//!   the retired stream must be fetchable from [`Frontend::code`], so
+//!   static analysis (CFG, enumeration, linting) of that program
+//!   covers everything the dynamic stream can do.
+
+use crate::{DynInstr, Executor};
+use tpc_isa::Program;
+
+/// A source of retired architectural instructions plus the static
+/// code they come from. See the [module docs](self) for the contract.
+pub trait Frontend {
+    /// Short stable identifier of the frontend kind (e.g.
+    /// `"synthetic"`, `"asm"`). Recorded in benchmark rows and
+    /// checkpoint fingerprints so cached results from different
+    /// frontends can never collide.
+    fn id(&self) -> &'static str;
+
+    /// The static program the retired stream executes.
+    fn code(&self) -> &Program;
+
+    /// Produces the next retired instruction. Never ends; see the
+    /// module docs for halt/restart semantics.
+    fn next_retired(&mut self) -> DynInstr;
+
+    /// Instructions retired so far.
+    fn retired(&self) -> u64;
+
+    /// Number of times the program ran to `halt` and restarted.
+    fn completions(&self) -> u64;
+}
+
+impl Frontend for Executor<'_> {
+    fn id(&self) -> &'static str {
+        "synthetic"
+    }
+
+    fn code(&self) -> &Program {
+        self.program()
+    }
+
+    fn next_retired(&mut self) -> DynInstr {
+        self.next().expect("executor stream never ends")
+    }
+
+    fn retired(&self) -> u64 {
+        Executor::retired(self)
+    }
+
+    fn completions(&self) -> u64 {
+        Executor::completions(self)
+    }
+}
+
+/// A factory for [`Frontend`]s over owned static code.
+///
+/// Differential and analysis pipelines need to run *several*
+/// frontends over the same program (one per simulator config, plus
+/// the golden model); this trait separates the owned source (a
+/// [`Program`], a loaded `.asm` file) from the per-run execution
+/// state so each run starts fresh.
+pub trait FrontendSource {
+    /// The frontend type this source instantiates.
+    type Fe<'s>: Frontend
+    where
+        Self: 's;
+
+    /// The frontend-kind identifier; matches
+    /// [`Frontend::id`] of the instantiated frontends.
+    fn id(&self) -> &'static str;
+
+    /// The static program all instantiated frontends execute.
+    fn code(&self) -> &Program;
+
+    /// Instantiates a fresh frontend positioned at the entry point.
+    fn frontend(&self) -> Self::Fe<'_>;
+}
+
+/// The synthetic-workload source: a validated [`Program`] executed by
+/// the architectural [`Executor`].
+impl FrontendSource for Program {
+    type Fe<'s> = Executor<'s>;
+
+    fn id(&self) -> &'static str {
+        "synthetic"
+    }
+
+    fn code(&self) -> &Program {
+        self
+    }
+
+    fn frontend(&self) -> Executor<'_> {
+        Executor::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpc_isa::{Op, ProgramBuilder, Reg};
+
+    fn tiny() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.push(Op::AddImm {
+            rd: Reg::new(1),
+            rs1: Reg::ZERO,
+            imm: 1,
+        });
+        b.push(Op::Halt);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn program_source_instantiates_executor() {
+        let p = tiny();
+        assert_eq!(FrontendSource::id(&p), "synthetic");
+        let mut fe = p.frontend();
+        assert_eq!(fe.id(), "synthetic");
+        let d = fe.next_retired();
+        assert_eq!(d.pc, p.entry());
+        assert_eq!(Frontend::retired(&fe), 1);
+        assert!(std::ptr::eq(fe.code(), &p));
+    }
+
+    #[test]
+    fn fresh_frontends_are_independent() {
+        let p = tiny();
+        let a: Vec<DynInstr> = (0..16).map(|_| p.frontend().next_retired()).collect();
+        assert!(a.windows(2).all(|w| w[0] == w[1]), "each run starts fresh");
+    }
+}

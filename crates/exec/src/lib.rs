@@ -14,6 +14,12 @@
 //! number of completed passes is reported by
 //! [`Executor::completions`].
 //!
+//! The crate also defines the pluggable [`Frontend`] boundary the
+//! simulator, oracle, and analyzer are generic over — the
+//! [`Executor`] is its first implementation (`"synthetic"`), and the
+//! [`AsmProgram`] loader its second (`"asm"`). See the [`frontend`]
+//! module docs for the contract.
+//!
 //! ```
 //! use tpc_isa::{ProgramBuilder, Op, Reg};
 //! use tpc_exec::Executor;
@@ -32,6 +38,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod asm;
 mod executor;
+pub mod frontend;
 
+pub use asm::{AsmFrontend, AsmLoadError, AsmProgram};
 pub use executor::{DynInstr, Executor};
+pub use frontend::{Frontend, FrontendSource};

@@ -75,7 +75,7 @@ fn main() {
         let mut e = String::new();
         write!(
             e,
-            "    {{\"config\": \"{name}\", \"benchmark\": \"gcc\", \
+            "    {{\"config\": \"{name}\", \"benchmark\": \"gcc\", \"frontend\": \"synthetic\", \
              \"wall_ms\": {}, \"sim_instr_per_sec\": {}, \"ipc\": {}}}",
             json_f(secs * 1e3),
             json_f(ips),

@@ -48,4 +48,4 @@ pub use par_sweep::{
     run_cells_checked, run_cells_resumable, run_cells_timed, run_cells_timed_jobs, sweep_grid,
     CellBudget, CellError, SweepCell,
 };
-pub use runner::{simulate, simulate_many, RunParams};
+pub use runner::{simulate, simulate_many, simulate_source, RunParams};

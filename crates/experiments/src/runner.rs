@@ -1,5 +1,6 @@
 //! Shared simulation driving for all experiments.
 
+use tpc_exec::FrontendSource;
 use tpc_processor::{SimConfig, SimStats, Simulator};
 use tpc_workloads::{Benchmark, WorkloadBuilder};
 
@@ -92,7 +93,19 @@ impl RunParams {
 /// statistics (after warm-up).
 pub fn simulate(benchmark: Benchmark, config: SimConfig, params: RunParams) -> SimStats {
     let program = WorkloadBuilder::new(benchmark).seed(params.seed).build();
-    let mut sim = Simulator::new(&program, config);
+    simulate_source(&program, config, params)
+}
+
+/// Runs any [`FrontendSource`] — a synthetic [`tpc_isa::Program`], a
+/// loaded [`tpc_exec::AsmProgram`] — under one configuration and
+/// returns measured statistics (after warm-up). `params.seed` is
+/// ignored: the source already owns its program.
+pub fn simulate_source<S: FrontendSource>(
+    source: &S,
+    config: SimConfig,
+    params: RunParams,
+) -> SimStats {
+    let mut sim = Simulator::with_frontend(source.frontend(), config);
     sim.run_with_warmup(params.warmup, params.measure)
 }
 

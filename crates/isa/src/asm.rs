@@ -17,12 +17,20 @@
 //! * one instruction per line; `;` starts a comment; labels end in
 //!   `:` and may share a line with an instruction;
 //! * conditional branches (`beq/bne/blt/bge rs1, rs2, label`) carry a
-//!   model annotation: `@loop(N)`, `@bias(NUM/DENOM)`, `@taken`,
-//!   `@nottaken`, or `@pattern(0b...)`;
-//! * indirect jumps (`jr rs`) carry `@targets(label[:weight], ...)`;
+//!   model annotation: `@loop(N)`, `@bias(NUM/DENOM[, seed=S])`,
+//!   `@taken`, `@nottaken`, or `@pattern(0b...)`;
+//! * indirect jumps (`jr rs`) carry
+//!   `@targets(label[:weight], ..., [seed=S])`;
 //! * loads/stores use `ld rd, offset(base)` / `st rs, offset(base)`;
 //! * execution starts at the `main` label when present, else at
-//!   address 0.
+//!   address 0; `main` and `jal`/`call` targets are recorded as the
+//!   program's functions, while other labels stay purely local.
+//!
+//! When no explicit `seed=` is given, biased branches and indirect
+//! jumps seed their outcome streams from the source line number, so
+//! distinct sites get distinct, reproducible streams. The
+//! [`disassemble`] inverse always emits explicit seeds, making the
+//! rendered text independent of line placement.
 //!
 //! ```
 //! use tpc_isa::asm::assemble;
@@ -147,8 +155,12 @@ fn parse_branch_model(annot: &str, line: usize) -> Result<OutcomeModel, AsmError
         };
     }
     if let Some(rest) = annot.strip_prefix("@bias(") {
-        let Some(frac) = rest.strip_suffix(')') else {
+        let Some(args) = rest.strip_suffix(')') else {
             return err(line, "unclosed @bias(");
+        };
+        let (frac, explicit_seed) = match args.split_once(',') {
+            Some((frac, s)) => (frac, Some(parse_seed(s, line)?)),
+            None => (args, None),
         };
         let parts: Vec<&str> = frac.split('/').collect();
         if parts.len() != 2 {
@@ -165,12 +177,12 @@ fn parse_branch_model(annot: &str, line: usize) -> Result<OutcomeModel, AsmError
         if denom == 0 || num > denom {
             return err(line, "bias must satisfy 0 <= NUM <= DENOM, DENOM > 0");
         }
-        // Seed derives from the source line so distinct branches get
-        // distinct, reproducible streams.
+        // Without an explicit seed, derive one from the source line
+        // so distinct branches get distinct, reproducible streams.
         return Ok(OutcomeModel::Biased {
             num,
             denom,
-            seed: line as u64,
+            seed: explicit_seed.unwrap_or(line as u64),
         });
     }
     if let Some(rest) = annot.strip_prefix("@pattern(") {
@@ -193,7 +205,23 @@ fn parse_branch_model(annot: &str, line: usize) -> Result<OutcomeModel, AsmError
     err(line, format!("unknown branch annotation {annot:?}"))
 }
 
-fn parse_targets(annot: &str, line: usize) -> Result<Vec<(String, u32)>, AsmError> {
+/// Parses a trailing `seed=S` annotation argument.
+fn parse_seed(item: &str, line: usize) -> Result<u64, AsmError> {
+    let item = item.trim();
+    let Some(value) = item.strip_prefix("seed=") else {
+        return err(line, format!("expected seed=S, found {item:?}"));
+    };
+    value.trim().parse().map_err(|_| AsmError {
+        line,
+        message: format!("bad seed {value:?}"),
+    })
+}
+
+/// Weighted `(label, weight)` targets plus an optional explicit seed,
+/// as parsed from a `@targets(...)` annotation.
+type ParsedTargets = (Vec<(String, u32)>, Option<u64>);
+
+fn parse_targets(annot: &str, line: usize) -> Result<ParsedTargets, AsmError> {
     let annot = annot.trim();
     let Some(rest) = annot.strip_prefix("@targets(") else {
         return err(
@@ -205,9 +233,14 @@ fn parse_targets(annot: &str, line: usize) -> Result<Vec<(String, u32)>, AsmErro
         return err(line, "unclosed @targets(");
     };
     let mut out = Vec::new();
+    let mut seed = None;
     for item in list.split(',') {
         let item = item.trim();
         if item.is_empty() {
+            continue;
+        }
+        if item.starts_with("seed=") {
+            seed = Some(parse_seed(item, line)?);
             continue;
         }
         match item.split_once(':') {
@@ -224,7 +257,7 @@ fn parse_targets(annot: &str, line: usize) -> Result<Vec<(String, u32)>, AsmErro
     if out.is_empty() {
         return err(line, "@targets(...) needs at least one label");
     }
-    Ok(out)
+    Ok((out, seed))
 }
 
 /// Assembles source text into a validated [`Program`].
@@ -383,10 +416,11 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 let Some(annot) = annot else {
                     return err(line, "indirect jump needs @targets(...)");
                 };
+                let (targets, explicit_seed) = parse_targets(annot, line)?;
                 Pending::Indirect {
                     rs1: parse_reg(nth(0)?, line)?,
-                    targets: parse_targets(annot, line)?,
-                    seed: line as u64,
+                    targets,
+                    seed: explicit_seed.unwrap_or(line as u64),
                 }
             }
             "halt" => Pending::Ready(Op::Halt),
@@ -403,6 +437,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             message: format!("unknown label {name:?}"),
         })
     };
+    let mut called: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     let mut b = ProgramBuilder::new();
     for (line, pending) in pendings {
         match pending {
@@ -432,6 +467,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 b.push(Op::Jump { target });
             }
             Pending::Call { target } => {
+                called.insert(target.clone());
                 let target = resolve(&target, line)?;
                 b.push(Op::Call { target });
             }
@@ -452,13 +488,216 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     if let Some(&entry) = labels.get("main") {
         b.set_entry(entry);
     }
+    // Only `main` and call targets are functions; other labels are
+    // local branch targets. This matters downstream: function entries
+    // are CFG roots, and a loop header that is also a root would stop
+    // dominating its latches, tripping the workload linter on every
+    // labeled multi-block loop.
     for (name, &addr) in &labels {
-        b.record_function(name.clone(), addr);
+        if name == "main" || called.contains(name) {
+            b.record_function(name.clone(), addr);
+        }
     }
     b.build().map_err(|e| AsmError {
         line: 0,
         message: format!("program validation failed: {e}"),
     })
+}
+
+/// True when `name` can serve as an assembler label: an ASCII
+/// identifier (`[A-Za-z_][A-Za-z0-9_]*`).
+fn is_label_ident(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Renders a branch model annotation with an explicit seed.
+fn format_model(model: &OutcomeModel) -> String {
+    match *model {
+        OutcomeModel::Loop { trip } => format!("@loop({})", trip.max(1)),
+        OutcomeModel::Biased { num, denom, seed } => {
+            // Clamp out-of-range builder inputs to the executor's
+            // effective behaviour (chance() treats num >= denom as
+            // always-taken and denom 0 as 1).
+            let denom = denom.max(1);
+            let num = num.min(denom);
+            format!("@bias({num}/{denom}, seed={seed})")
+        }
+        OutcomeModel::Pattern { bits, len } => {
+            let len = len.clamp(1, 32) as usize;
+            let bits = if len >= 32 {
+                bits
+            } else {
+                bits & ((1u32 << len) - 1)
+            };
+            format!("@pattern(0b{bits:0len$b})")
+        }
+        OutcomeModel::AlwaysTaken => "@taken".to_string(),
+        OutcomeModel::NeverTaken => "@nottaken".to_string(),
+    }
+}
+
+/// Renders a [`Program`] back into assembler text accepted by
+/// [`assemble`].
+///
+/// Labels come from the program's recorded functions (names that are
+/// valid label identifiers); any control-flow target without one gets
+/// a synthetic `L{addr}` label. `main` always names the entry point:
+/// a stray `main` elsewhere is renamed, and a synthetic `main` is
+/// added when the entry is non-zero and unnamed. Biased-branch and
+/// indirect models are emitted with explicit `seed=` annotations so
+/// the text reproduces the exact outcome streams regardless of line
+/// placement.
+///
+/// For programs that came from [`assemble`] the round trip is a fixed
+/// point: `assemble(&disassemble(&p)).unwrap() == p`. Programs built
+/// directly through [`ProgramBuilder`] may normalise metadata on the
+/// first round trip (function lengths, out-of-range model fields) —
+/// without changing the executed instruction stream — after which it
+/// is a fixed point too.
+pub fn disassemble(program: &Program) -> String {
+    use std::collections::BTreeSet;
+    use std::fmt::Write as _;
+
+    let len = program.len() as u32;
+    let entry = program.entry().word();
+
+    // Address -> label names, deduplicated by name across addresses.
+    let mut labels: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    for f in program.functions() {
+        if !is_label_ident(&f.name) || f.entry.word() > len || !used.insert(f.name.clone()) {
+            continue;
+        }
+        labels
+            .entry(f.entry.word())
+            .or_default()
+            .insert(f.name.clone());
+    }
+
+    // `main` must name the entry and nothing else.
+    let main_at = labels
+        .iter()
+        .find(|(_, names)| names.contains("main"))
+        .map(|(&addr, _)| addr);
+    if let Some(addr) = main_at {
+        if addr != entry {
+            let mut fresh = String::from("main_");
+            while used.contains(&fresh) {
+                fresh.push('_');
+            }
+            let names = labels.get_mut(&addr).expect("main label present");
+            names.remove("main");
+            names.insert(fresh.clone());
+            used.remove("main");
+            used.insert(fresh);
+        }
+    }
+    if entry != 0 && !labels.get(&entry).is_some_and(|n| n.contains("main")) {
+        labels.entry(entry).or_default().insert("main".to_string());
+        used.insert("main".to_string());
+    }
+
+    // Synthetic labels for control-flow targets without one.
+    let mut needed: BTreeSet<u32> = BTreeSet::new();
+    for w in 0..len {
+        let at = Addr::new(w);
+        let op = program.fetch(at).expect("in range");
+        if let Some(t) = op.static_target() {
+            needed.insert(t.word());
+        }
+        if let Some(m) = program.indirect_model(at) {
+            for t in m.targets() {
+                needed.insert(t.word());
+            }
+        }
+    }
+    for w in needed {
+        if labels.get(&w).is_some_and(|n| !n.is_empty()) {
+            continue;
+        }
+        let mut name = format!("L{w}");
+        while used.contains(&name) {
+            name.push('_');
+        }
+        used.insert(name.clone());
+        labels.entry(w).or_default().insert(name);
+    }
+
+    let label_for = |w: u32| -> &str {
+        labels[&w]
+            .iter()
+            .next()
+            .expect("target labelled above")
+            .as_str()
+    };
+
+    let mut out = String::new();
+    for w in 0..len {
+        if let Some(names) = labels.get(&w) {
+            for name in names {
+                let _ = writeln!(out, "{name}:");
+            }
+        }
+        let at = Addr::new(w);
+        let op = program.fetch(at).expect("in range");
+        out.push_str("    ");
+        match *op {
+            Op::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let model = program.branch_model(at).expect("validated program");
+                let _ = write!(
+                    out,
+                    "{cond} {rs1}, {rs2}, {} {}",
+                    label_for(target.word()),
+                    format_model(model)
+                );
+            }
+            Op::Jump { target } => {
+                let _ = write!(out, "jmp {}", label_for(target.word()));
+            }
+            Op::Call { target } => {
+                let _ = write!(out, "jal {}", label_for(target.word()));
+            }
+            Op::IndirectJump { rs1 } => {
+                let model = program.indirect_model(at).expect("validated program");
+                let mut parts: Vec<String> = model
+                    .targets()
+                    .iter()
+                    .zip(model.weights())
+                    .map(|(t, weight)| format!("{}:{weight}", label_for(t.word())))
+                    .collect();
+                parts.push(format!("seed={}", model.seed()));
+                let _ = write!(out, "jr {rs1} @targets({})", parts.join(", "));
+            }
+            // Display prints the raw shift amount; the executor wraps
+            // mod 64 and the parser rejects >= 64, so normalise.
+            Op::Shl { rd, rs1, shamt } => {
+                let _ = write!(out, "shl {rd}, {rs1}, {}", shamt % 64);
+            }
+            Op::Shr { rd, rs1, shamt } => {
+                let _ = write!(out, "shr {rd}, {rs1}, {}", shamt % 64);
+            }
+            ref other => {
+                let _ = write!(out, "{other}");
+            }
+        }
+        out.push('\n');
+    }
+    // Labels recorded at the end of the code (entry == len).
+    if let Some(names) = labels.get(&len) {
+        for name in names {
+            let _ = writeln!(out, "{name}:");
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -660,6 +899,107 @@ mod tests {
     fn register_bounds_checked() {
         let e = assemble("main: li r32, 1\nhalt").unwrap_err();
         assert!(e.message.contains("r32"));
+    }
+
+    #[test]
+    fn explicit_seeds_override_line_derivation() {
+        let p = assemble(
+            "main: beq r1, r2, a @bias(3/10, seed=77)\n\
+             a:    jr r4 @targets(b:2, c, seed=99)\n\
+             b:    halt\n\
+             c:    halt",
+        )
+        .unwrap();
+        assert_eq!(
+            p.branch_model(Addr::new(0)),
+            Some(&OutcomeModel::Biased {
+                num: 3,
+                denom: 10,
+                seed: 77
+            })
+        );
+        assert_eq!(p.indirect_model(Addr::new(1)).unwrap().seed(), 99);
+    }
+
+    #[test]
+    fn bad_seed_rejected() {
+        let e = assemble("main: beq r1, r2, main @bias(1/2, seed=x)\nhalt").unwrap_err();
+        assert!(e.message.contains("seed"));
+        let e = assemble("main: jr r1 @targets(main, sead=1)\nhalt").unwrap_err();
+        assert!(e.message.contains("sead") || e.message.contains("label"));
+    }
+
+    #[test]
+    fn disassemble_round_trips_asm_programs() {
+        let src = "main:\n\
+                   \x20   li r1, 5\n\
+                   top:\n\
+                   \x20   addi r1, r1, -1\n\
+                   \x20   beq r1, r2, arm @bias(3/10, seed=4)\n\
+                   \x20   bne r1, r0, top @loop(5)\n\
+                   \x20   jal fun\n\
+                   \x20   jr r4 @targets(top:3, end, seed=9)\n\
+                   arm:\n\
+                   \x20   blt r1, r2, top @pattern(0b0101)\n\
+                   end:\n\
+                   \x20   halt\n\
+                   fun:\n\
+                   \x20   st r1, -8(r2)\n\
+                   \x20   ret\n";
+        let p = assemble(src).unwrap();
+        let text = disassemble(&p);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p, p2, "reassembly must be a fixed point:\n{text}");
+        assert_eq!(text, disassemble(&p2));
+    }
+
+    #[test]
+    fn disassemble_labels_builder_programs() {
+        // A builder program with no functions at all: targets get
+        // synthetic labels, and one round trip reaches a fixed point.
+        let mut b = ProgramBuilder::new();
+        b.push(Op::LoadImm {
+            rd: Reg::new(1),
+            imm: 3,
+        });
+        let top = b.here();
+        b.push(Op::AddImm {
+            rd: Reg::new(1),
+            rs1: Reg::new(1),
+            imm: -1,
+        });
+        b.push_branch(
+            Op::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::new(1),
+                rs2: Reg::new(0),
+                target: top,
+            },
+            OutcomeModel::Loop { trip: 3 },
+        );
+        b.push(Op::Halt);
+        let p = b.build().unwrap();
+        let p1 = assemble(&disassemble(&p)).unwrap();
+        let p2 = assemble(&disassemble(&p1)).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), p.len());
+        assert_eq!(p1.entry(), p.entry());
+        assert_eq!(p1.branch_model(Addr::new(2)), p.branch_model(Addr::new(2)));
+    }
+
+    #[test]
+    fn disassemble_renames_stray_main() {
+        // `main` recorded away from the entry must not hijack the
+        // entry point on reassembly.
+        let mut b = ProgramBuilder::new();
+        b.push(Op::Nop);
+        let e = b.here();
+        b.push(Op::Halt);
+        b.set_entry(e);
+        b.record_function("main", Addr::ZERO);
+        let p = b.build().unwrap();
+        let p1 = assemble(&disassemble(&p)).unwrap();
+        assert_eq!(p1.entry(), p.entry());
     }
 
     #[test]

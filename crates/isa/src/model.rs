@@ -254,6 +254,13 @@ impl IndirectModel {
         &self.targets
     }
 
+    /// The per-target selection weights (parallel to [`targets`]).
+    ///
+    /// [`targets`]: IndirectModel::targets
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+
     /// The seed for the selection stream.
     pub fn seed(&self) -> u64 {
         self.seed

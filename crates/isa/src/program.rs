@@ -21,7 +21,7 @@ pub struct FunctionInfo {
 ///
 /// Construct via [`ProgramBuilder`], which validates the invariants
 /// listed on [`ProgramBuilder::build`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     code: Vec<Op>,
     entry: Addr,

@@ -19,6 +19,12 @@
 //!   checks must be ones the server emits.
 //! * `conf-jobs-flag`: every experiment bin must expose and
 //!   document `--jobs`.
+//! * `conf-frontend-matrix`: every `impl Frontend for <Type>` in the
+//!   workspace must have that type exercised by the
+//!   differential-oracle crate — a frontend nobody cross-checks
+//!   against the golden model is an unverified retirement stream.
+
+use std::collections::BTreeSet;
 
 use crate::lexer::{Tok, TokKind};
 use crate::report::Finding;
@@ -32,6 +38,7 @@ pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {
     faultkind(ws, out);
     protocol(ws, out);
     jobs_flag(ws, out);
+    frontend_matrix(ws, out);
 }
 
 /// A finding that reports a broken extraction — the rule must fail
@@ -574,6 +581,64 @@ fn jobs_flag(ws: &Workspace, out: &mut Vec<Finding>) {
     }
 }
 
+/// Every type with an `impl Frontend for …` must be exercised by the
+/// differential-oracle crate: the oracle's test matrix is the only
+/// thing standing between a new frontend and an unverified retirement
+/// stream, so adding a frontend without differential coverage is a
+/// lint failure, not a style choice.
+fn frontend_matrix(ws: &Workspace, out: &mut Vec<Finding>) {
+    const RULE: &str = "conf-frontend-matrix";
+    let Some(anchor) = ws.get("crates/exec/src/frontend.rs") else {
+        return;
+    };
+    // Every `impl … Frontend for <Type>` in the workspace (trait
+    // bounds like `F: Frontend` never match — they are not followed
+    // by `for <ident>`).
+    let mut impls: Vec<(&SourceFile, u32, String)> = Vec::new();
+    for f in &ws.files {
+        for_each_seq(&f.trees, &mut |seq| {
+            for i in 0..seq.len() {
+                if !seq[i].is_ident("Frontend")
+                    || !seq.get(i + 1).is_some_and(|t| t.is_ident("for"))
+                    || !seq[..i].iter().any(|t| t.is_ident("impl"))
+                {
+                    continue;
+                }
+                if let Some(Tree::Leaf(tok)) = seq.get(i + 2) {
+                    if tok.kind == TokKind::Ident {
+                        impls.push((f, tok.line, tok.text.clone()));
+                    }
+                }
+            }
+        });
+    }
+    if impls.is_empty() {
+        out.push(broken(
+            RULE,
+            anchor,
+            "no `impl Frontend for <Type>` found anywhere in the workspace".to_string(),
+        ));
+        return;
+    }
+    let mut oracle_idents: BTreeSet<String> = BTreeSet::new();
+    for f in ws.with_prefix("crates/oracle/") {
+        oracle_idents.extend(idents(&f.trees));
+    }
+    for (f, line, name) in impls {
+        if !oracle_idents.contains(&name) {
+            out.push(finding(
+                RULE,
+                f,
+                line,
+                format!(
+                    "frontend `{name}` is not exercised by the differential-oracle crate \
+                     (crates/oracle never names it)"
+                ),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -720,5 +785,55 @@ mod tests {
         jobs_flag(&ws, &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].file, "crates/experiments/src/bin/fig9.rs");
+    }
+
+    #[test]
+    fn uncovered_frontend_impl_is_flagged() {
+        let fe = file(
+            "crates/exec/src/frontend.rs",
+            "pub trait Frontend {}\nimpl Frontend for Executor<'_> {}",
+        );
+        let extra = file(
+            "crates/exec/src/asm.rs",
+            "impl<'a> Frontend for AsmFrontend<'a> {}",
+        );
+        let oracle = file(
+            "crates/oracle/src/bin/asm_run.rs",
+            "fn main() { let _: Executor<'_> = todo!(); }",
+        );
+        let ws = Workspace {
+            files: vec![fe, extra, oracle],
+        };
+        let mut out = Vec::new();
+        frontend_matrix(&ws, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("AsmFrontend"), "{out:?}");
+        assert_eq!(out[0].file, "crates/exec/src/asm.rs");
+    }
+
+    #[test]
+    fn covered_frontends_are_clean_and_bounds_do_not_match() {
+        let fe = file(
+            "crates/exec/src/frontend.rs",
+            "pub trait Frontend {}\nimpl Frontend for Executor<'_> {}\n\
+             fn generic<F: Frontend>(f: F) {}", // bound, not an impl
+        );
+        let oracle = file("crates/oracle/src/diff.rs", "fn check(e: Executor<'_>) {}");
+        let ws = Workspace {
+            files: vec![fe, oracle],
+        };
+        let mut out = Vec::new();
+        frontend_matrix(&ws, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn missing_frontend_impls_break_the_extraction() {
+        let fe = file("crates/exec/src/frontend.rs", "pub trait Frontend {}");
+        let ws = Workspace { files: vec![fe] };
+        let mut out = Vec::new();
+        frontend_matrix(&ws, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].msg.contains("extraction failed"), "{out:?}");
     }
 }

@@ -32,6 +32,7 @@ pub const RULE_IDS: &[&str] = &[
     "conf-faultkind",
     "conf-protocol",
     "conf-jobs-flag",
+    "conf-frontend-matrix",
 ];
 
 /// Runs all rules over the workspace; findings come back sorted by

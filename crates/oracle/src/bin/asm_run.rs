@@ -1,0 +1,163 @@
+//! Runs a `.asm` program through the full verification pipeline.
+//!
+//! Loads the file as an [`AsmProgram`], lints it, prints its static
+//! CFG/enumeration summary, cross-checks the `"asm"` frontend against
+//! the synthetic [`Executor`] frontend over the identical code, runs
+//! the differential oracle over the standard configuration matrix,
+//! and (unless `--faults 0`) repeats the matrix under fault
+//! injection. Per-configuration IPC is reported from a measured
+//! simulation window.
+//!
+//! ```text
+//! asm_run <file.asm> [--instructions N] [--faults PERMILLE] [--seed N]
+//! ```
+//!
+//! Exit codes: 0 = all checks clean, 1 = lint error or divergence,
+//! 2 = usage or load error.
+
+use tpc_analysis::{cfg_of, enumeration_of, lint_source, LintLevel};
+use tpc_core::FaultPlan;
+use tpc_exec::{AsmFrontend, AsmProgram, Executor, Frontend, FrontendSource};
+use tpc_experiments::{simulate_source, RunParams};
+use tpc_oracle::{run_differential, run_differential_faulted, standard_configs};
+
+const USAGE: &str = "usage: asm_run <file.asm> [--instructions N] [--faults PERMILLE] [--seed N]";
+
+struct Args {
+    path: String,
+    instructions: u64,
+    faults_per_mille: u32,
+    seed: u64,
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut path = None;
+    let mut args = Args {
+        path: String::new(),
+        instructions: 20_000,
+        faults_per_mille: 40,
+        seed: 1,
+    };
+    let mut it = argv;
+    while let Some(flag) = it.next() {
+        if matches!(flag.as_str(), "--help" | "-h") {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        if !flag.starts_with("--") {
+            if path.replace(flag).is_some() {
+                return Err("more than one input file".to_string());
+            }
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        let parsed = |what: &str| format!("{flag}: cannot parse {value:?} as {what}");
+        match flag.as_str() {
+            "--instructions" => args.instructions = value.parse().map_err(|_| parsed("u64"))?,
+            "--faults" => args.faults_per_mille = value.parse().map_err(|_| parsed("u32"))?,
+            "--seed" => args.seed = value.parse().map_err(|_| parsed("u64"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    args.path = path.ok_or_else(|| "no input file".to_string())?;
+    Ok(args)
+}
+
+/// Retires `count` instructions on the `"asm"` frontend and the
+/// synthetic [`Executor`] frontend over the same code, asserting the
+/// streams are identical — the two frontends may differ in identity,
+/// never in architecture.
+fn cross_check_frontends(asm: &AsmProgram, count: u64) -> Result<(), String> {
+    let mut a: AsmFrontend<'_> = asm.frontend();
+    let mut b: Executor<'_> = asm.program().frontend();
+    for i in 0..count {
+        let x = a.next_retired();
+        let y = b.next_retired();
+        if x != y {
+            return Err(format!(
+                "frontend mismatch at instruction {i}: {} retired {x:?}, {} retired {y:?}",
+                asm.id(),
+                asm.program().id(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<(), (i32, String)> {
+    let asm = AsmProgram::load(&args.path).map_err(|e| (2, e.to_string()))?;
+
+    // Static report: lints, CFG shape, enumeration size.
+    let lints = lint_source(&asm);
+    for l in &lints {
+        println!("{l}");
+    }
+    if lints.iter().any(|l| l.level() == LintLevel::Error) {
+        return Err((1, format!("{}: lint errors, not simulating", asm.name())));
+    }
+    let summary = cfg_of(&asm).summary(asm.program());
+    let closure = enumeration_of(&asm).closure_size();
+    println!(
+        "{}: {} instructions, {} blocks ({} reachable), {} loops, \
+         {} call edges, {} indirect jumps, {} enumerated trace starts",
+        asm.name(),
+        summary.instructions,
+        summary.blocks,
+        summary.reachable_blocks,
+        summary.natural_loops,
+        summary.call_edges,
+        summary.indirect_jumps,
+        closure,
+    );
+
+    // The asm frontend and the synthetic executor frontend must
+    // retire the same stream over the same code.
+    cross_check_frontends(&asm, args.instructions).map_err(|e| (1, e))?;
+
+    // Measured IPC per configuration (quick window).
+    let params = RunParams::quick();
+    for nc in standard_configs() {
+        let stats = simulate_source(&asm, nc.config.clone(), params);
+        println!(
+            "{:10} IPC {:.3}  ({} retired)",
+            nc.name,
+            stats.ipc(),
+            stats.retired_instructions
+        );
+    }
+
+    // Differential oracle over the standard matrix, then again under
+    // fault injection: retirement must match the golden model exactly
+    // either way.
+    let configs = standard_configs();
+    let report = run_differential(&asm, &configs, args.instructions)
+        .map_err(|d| (1, format!("{}: {d}", asm.name())))?;
+    println!(
+        "differential: {} configs x {} instructions clean",
+        report.configs, report.instructions
+    );
+    if args.faults_per_mille > 0 {
+        let plan = FaultPlan::all(args.seed ^ 0x5EED_FA17, args.faults_per_mille);
+        let faulted = run_differential_faulted(&asm, &configs, args.instructions, plan)
+            .map_err(|d| (1, format!("{} (faulted): {d}", asm.name())))?;
+        println!(
+            "faulted:      {} configs x {} instructions clean \
+             ({} faults injected, {} landed)",
+            faulted.configs, faulted.instructions, faulted.faults_injected, faulted.faults_landed
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("asm_run: {e}\n{USAGE}");
+        std::process::exit(2);
+    });
+    if let Err((code, msg)) = run(&args) {
+        eprintln!("asm_run: {msg}");
+        std::process::exit(code);
+    }
+}

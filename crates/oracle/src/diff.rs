@@ -28,6 +28,7 @@
 use crate::interp::Oracle;
 use tpc_analysis::StaticEnumeration;
 use tpc_core::FaultPlan;
+use tpc_exec::{Frontend, FrontendSource};
 use tpc_isa::Program;
 use tpc_processor::{SimConfig, SimStats, Simulator};
 
@@ -102,23 +103,29 @@ pub struct DiffReport {
     pub executor_checked: u64,
 }
 
-/// Cross-checks the production executor against the oracle, then runs
+/// Cross-checks the source's frontend against the oracle, then runs
 /// every configuration in `configs` for at least `instructions`
 /// retirements each, comparing retirement streams chunk by chunk.
 ///
+/// Generic over the [`FrontendSource`]: a synthetic [`Program`] runs
+/// through the architectural executor, a loaded
+/// [`AsmProgram`](tpc_exec::AsmProgram) through the `"asm"` frontend,
+/// and so on — statically dispatched, one compiled pipeline per
+/// frontend kind.
+///
 /// Returns the first divergence found, or a summary when everything
 /// agrees.
-pub fn run_differential(
-    program: &Program,
+pub fn run_differential<S: FrontendSource>(
+    source: &S,
     configs: &[NamedConfig],
     instructions: u64,
 ) -> Result<DiffReport, Divergence> {
-    lint_gate(program)?;
-    check_executor(program, instructions)?;
+    lint_gate(source.code())?;
+    check_frontend(source, instructions)?;
 
-    let enumeration = StaticEnumeration::build(program);
+    let enumeration = StaticEnumeration::build(source.code());
     for nc in configs {
-        check_config(program, nc, instructions, &enumeration)?;
+        check_config(source, nc, instructions, &enumeration)?;
     }
 
     Ok(DiffReport {
@@ -147,12 +154,12 @@ pub struct FaultedDiffReport {
 /// so an adversarial fault schedule over its every mechanism may move
 /// hit rates and IPC but can never change what retires.
 ///
-/// The executor cross-check is skipped (faults cannot reach it); the
+/// The frontend cross-check is skipped (faults cannot reach it); the
 /// per-chunk invariant checks still run, so a fault that corrupted a
 /// structure into an illegal state is caught even if retirement
 /// happened to survive.
-pub fn run_differential_faulted(
-    program: &Program,
+pub fn run_differential_faulted<S: FrontendSource>(
+    source: &S,
     configs: &[NamedConfig],
     instructions: u64,
     plan: FaultPlan,
@@ -162,14 +169,14 @@ pub fn run_differential_faulted(
         instructions,
         ..FaultedDiffReport::default()
     };
-    lint_gate(program)?;
-    let enumeration = StaticEnumeration::build(program);
+    lint_gate(source.code())?;
+    let enumeration = StaticEnumeration::build(source.code());
     for nc in configs {
         let faulted = NamedConfig {
             name: nc.name,
             config: nc.config.clone().with_faults(plan),
         };
-        let stats = check_config(program, &faulted, instructions, &enumeration)?;
+        let stats = check_config(source, &faulted, instructions, &enumeration)?;
         report.faults_injected += stats.faults.injected;
         report.faults_landed += stats.faults.landed;
     }
@@ -199,15 +206,16 @@ fn lint_gate(program: &Program) -> Result<(), Divergence> {
     Ok(())
 }
 
-/// Step-by-step comparison of the production [`tpc_exec::Executor`]
-/// against the oracle: pc, opcode, branch direction, successor, and
-/// effective memory address must all agree at every instruction.
-fn check_executor(program: &Program, instructions: u64) -> Result<(), Divergence> {
-    let mut oracle = Oracle::new(program);
-    let mut exec = tpc_exec::Executor::new(program);
+/// Step-by-step comparison of the source's production [`Frontend`]
+/// (e.g. the [`tpc_exec::Executor`]) against the oracle: pc, opcode,
+/// branch direction, successor, and effective memory address must all
+/// agree at every instruction.
+fn check_frontend<S: FrontendSource>(source: &S, instructions: u64) -> Result<(), Divergence> {
+    let mut oracle = Oracle::new(source.code());
+    let mut fe = source.frontend();
     for i in 0..instructions {
         let want = oracle.step();
-        let got = exec.next().expect("executor streams are infinite");
+        let got = fe.next_retired();
         if got.pc != want.pc
             || got.op != want.op
             || got.taken != want.taken
@@ -217,7 +225,7 @@ fn check_executor(program: &Program, instructions: u64) -> Result<(), Divergence
             return Err(Divergence {
                 config: "executor",
                 index: i,
-                detail: format!("oracle {want:?} but executor {got:?}"),
+                detail: format!("oracle {want:?} but {} frontend {got:?}", source.id()),
             });
         }
     }
@@ -227,16 +235,17 @@ fn check_executor(program: &Program, instructions: u64) -> Result<(), Divergence
 /// Runs one simulator configuration and compares its retirement
 /// stream against a fresh oracle advanced in lockstep. Returns the
 /// final statistics so faulted runs can report injection counts.
-fn check_config(
-    program: &Program,
+fn check_config<S: FrontendSource>(
+    source: &S,
     nc: &NamedConfig,
     instructions: u64,
     enumeration: &StaticEnumeration,
 ) -> Result<SimStats, Divergence> {
+    let program = source.code();
     let mut config = nc.config.clone();
     config.record_retirement = true;
     config.engine.record_activity = true;
-    let mut sim = Simulator::new(program, config);
+    let mut sim = Simulator::with_frontend(source.frontend(), config);
     let mut oracle = Oracle::new(program);
     let mut compared: u64 = 0;
 
@@ -342,6 +351,24 @@ mod tests {
         let report = run_differential(&p, &standard_configs(), 2_000).unwrap();
         assert_eq!(report.configs, 4);
         assert!(report.instructions >= 2_000);
+    }
+
+    #[test]
+    fn asm_source_matches_everywhere() {
+        // The second frontend through the same generic pipeline: a
+        // hand-written program, differentially checked clean and
+        // under faults.
+        let src = "main:\n    li r1, 4\n\
+                   top:\n    addi r1, r1, -1\n\
+                   \x20   st r1, 8(r1)\n\
+                   \x20   bne r1, r0, top @loop(4)\n\
+                   \x20   halt\n";
+        let asm = tpc_exec::AsmProgram::from_source("loop", src).unwrap();
+        let report = run_differential(&asm, &standard_configs(), 2_000).unwrap();
+        assert_eq!(report.configs, 4);
+        let plan = FaultPlan::all(7, 100);
+        let faulted = run_differential_faulted(&asm, &standard_configs(), 1_000, plan).unwrap();
+        assert!(faulted.faults_injected > 0);
     }
 
     #[test]

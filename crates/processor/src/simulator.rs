@@ -8,6 +8,7 @@ use tpc_core::{
     preprocess, EngineConfig, EngineFault, EngineStats, FaultKind, FaultPlan, FaultState,
     FaultStats, PreconEngine,
 };
+use tpc_exec::{Executor, Frontend};
 use tpc_isa::{Addr, OpClass, Program};
 use tpc_mem::{AccessKind, DataCacheStats, IcacheStats, InstrCache, InstrCacheConfig};
 use tpc_predict::{Bimodal, NextTracePredictor, NtpConfig, ReturnAddressStack};
@@ -561,13 +562,15 @@ struct Inflight {
     recorded: Vec<RetiredInstr>,
 }
 
-/// The simulator. Create with [`Simulator::new`], drive with
-/// [`Simulator::run`], read results with [`Simulator::stats`].
+/// The simulator, generic over the instruction [`Frontend`]
+/// (statically dispatched). Create with [`Simulator::new`] for the
+/// synthetic executor frontend or [`Simulator::with_frontend`] for
+/// any other, drive with [`Simulator::run`], read results with
+/// [`Simulator::stats`].
 #[derive(Debug)]
-pub struct Simulator<'a> {
-    program: &'a Program,
+pub struct Simulator<F: Frontend> {
     config: SimConfig,
-    stream: TraceStream<'a>,
+    stream: TraceStream<F>,
     store: Box<dyn TraceStore>,
     engine: PreconEngine,
     ntp: NextTracePredictor,
@@ -599,9 +602,18 @@ pub struct Simulator<'a> {
     pending_source: SupplySource,
 }
 
-impl<'a> Simulator<'a> {
-    /// Creates a simulator over `program`.
+impl<'a> Simulator<Executor<'a>> {
+    /// Creates a simulator over `program`, executed by the
+    /// architectural [`Executor`] (the `"synthetic"` frontend).
     pub fn new(program: &'a Program, config: SimConfig) -> Self {
+        Simulator::with_frontend(Executor::new(program), config)
+    }
+}
+
+impl<F: Frontend> Simulator<F> {
+    /// Creates a simulator over any freshly instantiated
+    /// [`Frontend`].
+    pub fn with_frontend(frontend: F, config: SimConfig) -> Self {
         let store: Box<dyn TraceStore> = match config.storage {
             StorageKind::Split => Box::new(SplitStore::new(
                 config.trace_cache_entries,
@@ -621,7 +633,7 @@ impl<'a> Simulator<'a> {
             })),
         };
         Simulator {
-            stream: TraceStream::new(program),
+            stream: TraceStream::over(frontend),
             store,
             engine: PreconEngine::new(config.engine),
             ntp: NextTracePredictor::new(config.ntp),
@@ -643,9 +655,14 @@ impl<'a> Simulator<'a> {
             events: Vec::new(),
             retirement: Vec::new(),
             pending_source: SupplySource::TraceCache,
-            program,
             config,
         }
+    }
+
+    /// The frontend-kind identifier (see
+    /// [`Frontend::id`](tpc_exec::Frontend::id)).
+    pub fn frontend_id(&self) -> &'static str {
+        self.stream.frontend_id()
     }
 
     /// The recorded pipeline events (empty unless
@@ -813,7 +830,7 @@ impl<'a> Simulator<'a> {
         self.engine.tick(
             self.cycle,
             !slow_busy,
-            self.program,
+            self.stream.code(),
             &mut self.icache,
             &self.bimodal,
             &mut *self.store,

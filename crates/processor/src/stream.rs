@@ -1,7 +1,7 @@
 //! The correct-path dynamic trace stream.
 
 use tpc_core::{PushResult, Resolution, Trace, TraceBuilder};
-use tpc_exec::Executor;
+use tpc_exec::{Executor, Frontend};
 use tpc_isa::{OpClass, Program};
 
 /// One dynamic trace instance: the trace (as the caches would store
@@ -30,35 +30,62 @@ impl DynTrace {
     }
 }
 
-/// Chunks the architectural executor's instruction stream into
-/// traces using the shared selection rules, yielding exactly the
-/// sequence of traces the processor fetches on the correct path.
+/// Chunks a [`Frontend`]'s retired instruction stream into traces
+/// using the shared selection rules, yielding exactly the sequence of
+/// traces the processor fetches on the correct path.
 #[derive(Debug)]
-pub struct TraceStream<'a> {
-    ex: Executor<'a>,
+pub struct TraceStream<F: Frontend> {
+    fe: F,
+    /// Start of the next trace: the `next_pc` of the last retired
+    /// instruction (the frontend entry before anything retires).
+    next_start: tpc_isa::Addr,
 }
 
-impl<'a> TraceStream<'a> {
-    /// Creates a stream over `program` from its entry point.
+impl<'a> TraceStream<Executor<'a>> {
+    /// Creates a stream over `program` from its entry point, using
+    /// the architectural executor (the `"synthetic"` frontend).
     pub fn new(program: &'a Program) -> Self {
+        TraceStream::over(Executor::new(program))
+    }
+}
+
+impl<F: Frontend> TraceStream<F> {
+    /// Creates a stream over any [`Frontend`]. The frontend must be
+    /// freshly instantiated (positioned at the program entry), as
+    /// [`FrontendSource::frontend`](tpc_exec::FrontendSource::frontend)
+    /// guarantees.
+    pub fn over(frontend: F) -> Self {
+        let next_start = frontend.code().entry();
         TraceStream {
-            ex: Executor::new(program),
+            fe: frontend,
+            next_start,
         }
     }
 
-    /// Instructions retired by the underlying executor.
+    /// Instructions retired by the underlying frontend.
     pub fn retired(&self) -> u64 {
-        self.ex.retired()
+        self.fe.retired()
+    }
+
+    /// The static program the stream executes.
+    pub fn code(&self) -> &Program {
+        self.fe.code()
+    }
+
+    /// The frontend-kind identifier (see [`Frontend::id`]).
+    pub fn frontend_id(&self) -> &'static str {
+        self.fe.id()
     }
 
     /// Produces the next trace on the correct path.
     pub fn next_trace(&mut self) -> DynTrace {
-        let start = self.ex.pc();
+        let start = self.next_start;
         let mut b = TraceBuilder::new(start);
         let mut mem_addrs = Vec::new();
         let mut branch_outcomes = Vec::new();
         loop {
-            let d = self.ex.next().expect("executor streams are endless");
+            let d = self.fe.next_retired();
+            self.next_start = d.next_pc;
             mem_addrs.push(d.mem_addr);
             let resolution = match d.op.class() {
                 OpClass::Branch => {

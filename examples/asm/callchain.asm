@@ -1,0 +1,21 @@
+; Deep call chain: main calls down four levels; each frame does a
+; little work before calling deeper and returns back up, exercising
+; the return stack and the call/return CFG edges.
+main:
+    jal  f1
+    halt
+f1:
+    addi r1, r1, 1
+    jal  f2
+    ret
+f2:
+    addi r2, r2, 1
+    jal  f3
+    ret
+f3:
+    addi r3, r3, 1
+    jal  f4
+    ret
+f4:
+    addi r4, r4, 1
+    ret

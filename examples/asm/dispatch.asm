@@ -1,0 +1,24 @@
+; Interpreter-style dispatch loop: fetch an "opcode", jump through a
+; weighted jump table to one of four handlers, loop back to the top.
+; The indirect jump is the interesting bit — its target distribution
+; is what the preconstruction tables have to learn.
+main:
+    li   r1, 0            ; virtual pc
+    li   r7, 0            ; accumulator
+fetch:
+    addi r1, r1, 1        ; advance virtual pc
+    ld   r2, 0(r1)        ; fetch the next opcode
+    jr   r2 @targets(op_add:4, op_load:3, op_store:2, op_branch:1, seed=9)
+op_add:
+    add  r7, r7, r1
+    jmp  fetch
+op_load:
+    ld   r3, 8(r1)
+    add  r7, r7, r3
+    jmp  fetch
+op_store:
+    st   r7, 16(r1)
+    jmp  fetch
+op_branch:
+    bne  r7, r0, fetch @bias(7/8, seed=3)
+    halt

@@ -1,0 +1,18 @@
+; Mixed control flow: a rarely-taken diamond and a patterned branch
+; inside a counted loop — biased, periodic, and counted outcome
+; models all in one kernel.
+main:
+    li   r1, 0
+loop:
+    addi r1, r1, 1
+    beq  r1, r2, rare @bias(1/16, seed=5)
+    add  r3, r3, r1
+    jmp  join
+rare:
+    sub  r3, r3, r1
+join:
+    blt  r3, r4, skip @pattern(0b1100)
+    xor  r5, r5, r3
+skip:
+    bne  r1, r0, loop @loop(12)
+    halt

@@ -1,0 +1,18 @@
+; Tight nested loops: a three-deep loop nest with short trip counts —
+; exactly the shape the "fall-through of a backward branch" region
+; heuristic targets.
+main:
+    li   r1, 0
+outer:
+    li   r2, 0
+middle:
+    li   r3, 0
+inner:
+    addi r3, r3, 1
+    add  r1, r1, r3
+    bne  r3, r0, inner @loop(4)
+    addi r2, r2, 1
+    bne  r2, r0, middle @loop(3)
+    addi r1, r1, 1
+    bne  r1, r0, outer @loop(2)
+    halt

@@ -1,0 +1,11 @@
+; Pointer-chasing kernel: each load's address depends on the previous
+; load's value, serialising the memory accesses — the classic
+; latency-bound loop.
+main:
+    li   r1, 0x40         ; head of the chain
+    li   r2, 0            ; hop counter
+chase:
+    ld   r1, 0(r1)        ; follow the next pointer
+    addi r2, r2, 1
+    bne  r1, r0, chase @loop(64)
+    halt

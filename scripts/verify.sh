@@ -21,7 +21,8 @@ echo "== self-hosted lint gate (tpc_lint: determinism/panic/conformance rules) =
 # Parses the workspace's own source and enforces what clippy cannot:
 # no unordered collections, wall clocks, or thread identity in result
 # paths; panic hygiene in supervised worker/daemon code; SimStats
-# codec / FaultKind / service-protocol / --jobs conformance. Fails on
+# codec / FaultKind / service-protocol / --jobs / frontend-matrix
+# conformance. Fails on
 # any unallowlisted finding or stale allowlist entry; every allowlist
 # entry (printed below) carries a written justification. Per-rule
 # counts land in BENCH_lint.json.
@@ -45,6 +46,15 @@ echo "== conformance + fault-injection differential: 500 seeded programs =="
 # enumerable in both modes.
 cargo run -p tpc-oracle --release --offline --bin fuzz_sim -- \
   --seed 42 --iters 500 --size 300 --instrs 2000 --faults 40
+
+echo "== .asm frontend differential smoke: every shipped example, all four configs =="
+# Each example is loaded through the asm frontend, linted, cross-
+# checked against the synthetic executor frontend, then run through
+# the differential oracle fault-free and under a seeded fault plan.
+for f in examples/asm/*.asm; do
+  cargo run -p tpc-oracle --release --offline --bin asm_run -- \
+    "$f" --instructions 5000 --faults 40
+done
 
 echo "== checkpoint/resume round-trip: interrupted sweep, identical output =="
 ckpt="$(mktemp -d)/degradation.ckpt"
